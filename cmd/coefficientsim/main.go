@@ -1,0 +1,197 @@
+// Command coefficientsim runs the paper's experiments (Figures 1-5) on the
+// FlexRay simulator and prints the resulting tables.
+//
+// Usage:
+//
+//	coefficientsim -experiment fig1 [-quick] [-seed 1] [-format table|csv]
+//	coefficientsim -experiment all -quick
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/flexray-go/coefficient/internal/experiment"
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coefficientsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt or all")
+		quick  = fs.Bool("quick", false, "shrink horizons/batches for a fast smoke run")
+		seed   = fs.Uint64("seed", 1, "deterministic seed for arrivals and fault injection")
+		format = fs.String("format", "table", "output format: table, csv or json")
+		output = fs.String("output", "", "write to this file instead of stdout")
+		svgDir = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	var w io.Writer = os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt"}
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		tbl, chart, err := runOne(name, *quick, *seed)
+		if err != nil {
+			return err
+		}
+		if err := emit(w, tbl, *format); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if *svgDir != "" && chart != nil {
+			if err := writeSVG(*svgDir, name, chart); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSVG(dir, name string, chart *plot.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return chart.WriteSVG(f)
+}
+
+func runOne(name string, quick bool, seed uint64) (experiment.Table, *plot.Chart, error) {
+	switch name {
+	case "fig1":
+		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
+			Scenario: experiment.BER7(), Seed: seed, Quick: quick,
+		})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.RunningTimeTable("Figure 1: running time (BER-7)", rows),
+			experiment.RunningTimeChart("Figure 1: running time (BER-7)", rows), nil
+	case "fig2":
+		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
+			Scenario: experiment.BER9(), Seed: seed, Quick: quick,
+		})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.RunningTimeTable("Figure 2: running time (BER-9)", rows),
+			experiment.RunningTimeChart("Figure 2: running time (BER-9)", rows), nil
+	case "fig3":
+		rows, err := experiment.Utilization(experiment.UtilizationOptions{Seed: seed, Quick: quick})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.UtilizationTable(rows), experiment.UtilizationChart(rows), nil
+	case "fig4a":
+		rows, err := experiment.FrameLatency(experiment.FrameLatencyOptions{Seed: seed, Quick: quick})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.FrameLatencyTable(rows), experiment.FrameLatencyChart(rows), nil
+	case "fig4":
+		rows, err := experiment.Latency(experiment.LatencyOptions{Seed: seed, Quick: quick})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.LatencyTable(rows), experiment.LatencyChart(rows, "BBW", metrics.Dynamic), nil
+	case "wcrt":
+		rows, err := experiment.WCRT(experiment.WCRTOptions{Seed: seed})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.WCRTTable(rows), nil, nil
+	case "synthesis":
+		rows, err := experiment.Synthesis(experiment.SynthesisOptions{Seed: seed})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.SynthesisTable(rows), nil, nil
+	case "ablation":
+		rows, err := experiment.Ablations(experiment.AblationOptions{Seed: seed, Quick: quick})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.AblationTable(rows), nil, nil
+	case "fig5":
+		rows, err := experiment.MissRatio(experiment.MissOptions{Seed: seed, Quick: quick})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.MissTable(rows), experiment.MissChart(rows), nil
+	default:
+		return experiment.Table{}, nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func emit(w io.Writer, tbl experiment.Table, format string) error {
+	switch format {
+	case "table":
+		_, err := io.WriteString(w, tbl.String())
+		return err
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tableJSON(tbl))
+	default: // csv
+		cw := csv.NewWriter(w)
+		if err := cw.Write(tbl.Header); err != nil {
+			return err
+		}
+		for _, row := range tbl.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+}
+
+// tableJSON renders a table as a list of header-keyed objects.
+func tableJSON(tbl experiment.Table) map[string]any {
+	rows := make([]map[string]string, 0, len(tbl.Rows))
+	for _, r := range tbl.Rows {
+		obj := make(map[string]string, len(tbl.Header))
+		for i, h := range tbl.Header {
+			if i < len(r) {
+				obj[h] = r[i]
+			}
+		}
+		rows = append(rows, obj)
+	}
+	return map[string]any{"title": tbl.Title, "rows": rows}
+}

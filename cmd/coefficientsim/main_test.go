@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	errCh := make(chan error, 1)
+	outCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		outCh <- string(buf)
+	}()
+	errCh <- fn()
+	if err := w.Close(); err != nil {
+		t.Fatalf("close pipe: %v", err)
+	}
+	return <-outCh, <-errCh
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "fig5", "-quick", "-seed", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 5", "CoEfficient", "FSPEC", "miss ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "fig3", "-quick", "-format", "csv"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "minislots,scheduler,efficiency") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-experiment", "fig9", "-quick"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunJSONToFile(t *testing.T) {
+	path := t.TempDir() + "/out.json"
+	if err := run([]string{"-experiment", "fig3", "-quick", "-format", "json", "-output", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !strings.Contains(string(data), `"title"`) || !strings.Contains(string(data), "CoEfficient") {
+		t.Errorf("JSON output missing fields:\n%s", data)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	_, err := capture(t, func() error {
+		return run([]string{"-experiment", "fig3,fig5", "-quick", "-svg", dir})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"fig3.svg", "fig5.svg"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "polyline") {
+			t.Errorf("%s is not a chart", name)
+		}
+	}
+}
+
+func TestRunSynthesisAndWCRT(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "synthesis,wcrt,ablation", "-quick"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"synthesis", "worst-case response times", "ablations"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig1Fig4aQuick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "fig4a", "-quick"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 4(a)") {
+		t.Errorf("output missing fig4a table")
+	}
+}

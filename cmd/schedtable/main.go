@@ -1,0 +1,128 @@
+// Command schedtable prints the FlexRay static schedule table (base cycle,
+// repetition, feasibility per message) for a workload under one of the
+// paper's cycle configurations.
+//
+// Usage:
+//
+//	schedtable -workload bbw -cycle latency -minislots 50
+//	schedtable -workload synthetic -messages 40 -cycle runningtime -slots 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	coefficient "github.com/flexray-go/coefficient"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "schedtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("schedtable", flag.ContinueOnError)
+	var (
+		kind      = fs.String("workload", "bbw", "workload: bbw, acc or synthetic")
+		messages  = fs.Int("messages", 20, "synthetic: number of messages")
+		seed      = fs.Uint64("seed", 1, "synthetic seed")
+		cycle     = fs.String("cycle", "latency", "cycle configuration: latency (1ms) or runningtime (5ms)")
+		slots     = fs.Int("slots", 0, "static slot count (default: 30 for latency, 80 for runningtime)")
+		minislots = fs.Int("minislots", 50, "latency cycle: dynamic segment minislots")
+		wcrt      = fs.Bool("wcrt", false, "also print worst-case response times per message")
+		synth     = fs.Bool("synthesize", false, "also print the slot-multiplexed (minimal-width) schedule")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		set coefficient.MessageSet
+		err error
+	)
+	switch *kind {
+	case "bbw":
+		set = coefficient.BBW()
+	case "acc":
+		set = coefficient.ACC()
+	case "synthetic":
+		set, err = coefficient.Synthetic(coefficient.SyntheticOptions{Messages: *messages, Seed: *seed})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", *kind)
+	}
+
+	var setup coefficient.ExperimentSetup
+	switch *cycle {
+	case "latency":
+		n := *slots
+		if n == 0 {
+			n = 30
+		}
+		setup, err = coefficient.DeriveLatencySetup(set, n, *minislots)
+	case "runningtime":
+		n := *slots
+		if n == 0 {
+			n = 80
+		}
+		setup, err = coefficient.DeriveRunningTimeSetup(set, n)
+	default:
+		return fmt.Errorf("unknown cycle %q", *cycle)
+	}
+	if err != nil {
+		return err
+	}
+
+	tbl, err := coefficient.BuildSchedule(set, setup.Config)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s on the %s cycle (%v, %d static slots of %v, bus %d Mbit/s)\n",
+		set.Name, *cycle,
+		setup.Config.CycleDuration(),
+		setup.Config.StaticSlots,
+		setup.Config.ToDuration(setup.Config.StaticSlotLen),
+		setup.BitRate/1_000_000)
+	fmt.Print(tbl.String())
+	if !tbl.Feasible() {
+		fmt.Printf("# WARNING: %d infeasible entries (streaming runs would miss deadlines)\n",
+			len(tbl.Infeasible()))
+	}
+	if *synth {
+		syn, err := coefficient.SynthesizeSchedule(set, setup.Config)
+		if err != nil {
+			return err
+		}
+		bound, err := coefficient.MinScheduleSlots(set, setup.Config)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n# slot-multiplexed synthesis: %d slots used (lower bound %d, naive %d)\n",
+			syn.SlotsUsed, bound, len(tbl.Entries))
+		fmt.Printf("%-14s  %-5s  %-5s  %-4s\n", "message", "slot", "base", "rep")
+		for _, a := range syn.Assignments {
+			fmt.Printf("%-14s  %-5d  %-5d  %-4d\n",
+				a.Message.Name, a.Slot, a.BaseCycle, a.Repetition)
+		}
+	}
+	if *wcrt {
+		results, err := coefficient.AnalyzeWCRT(set, setup.Config, setup.BitRate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%-8s  %-14s  %-8s\n", "frame", "WCRT", "meets")
+		for _, r := range results {
+			w := r.WCRT.String()
+			if r.WCRT < 0 {
+				w = "unbounded"
+			}
+			fmt.Printf("%-8d  %-14s  %-8t\n", r.FrameID, w, r.MeetsDeadline)
+		}
+	}
+	return nil
+}

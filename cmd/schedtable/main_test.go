@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	outCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		outCh <- string(buf)
+	}()
+	ferr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatalf("close pipe: %v", err)
+	}
+	return <-outCh, ferr
+}
+
+func TestTableForBBWLatency(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-workload", "bbw", "-cycle", "latency"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"static schedule table", "BBW-01", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Error("BBW should be feasible in the latency cycle")
+	}
+}
+
+func TestTableWarnsOnInfeasible(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-workload", "bbw", "-cycle", "runningtime"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "WARNING") {
+		t.Error("5ms cycle should warn about BBW's 1ms deadlines")
+	}
+}
+
+func TestTableBadFlags(t *testing.T) {
+	if err := run([]string{"-workload", "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-cycle", "weird"}); err == nil {
+		t.Error("unknown cycle accepted")
+	}
+}
+
+func TestTableWithWCRTAndSynthesis(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-workload", "acc", "-cycle", "latency", "-wcrt", "-synthesize"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"WCRT", "slot-multiplexed synthesis", "lower bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTableSyntheticRunningTime(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-workload", "synthetic", "-messages", "10", "-cycle", "runningtime", "-slots", "40"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "runningtime cycle") || !strings.Contains(out, "40 static slots") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

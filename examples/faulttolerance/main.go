@@ -1,0 +1,60 @@
+// Fault tolerance: explore the paper's differentiated retransmission
+// analysis (Theorem 1) — how the retransmission plan k_z and its bandwidth
+// cost grow with the reliability goal, and how the differentiated plan
+// compares with the uniform one FSPEC-style schemes need.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	coefficient "github.com/flexray-go/coefficient"
+)
+
+func main() {
+	set := coefficient.BBW()
+	msgs := make([]coefficient.ReliabilityMessage, len(set.Messages))
+	for i, m := range set.Messages {
+		msgs[i] = coefficient.ReliabilityMessage{
+			Name:   m.Name,
+			Bits:   m.Bits,
+			Period: m.Period,
+		}
+	}
+	const (
+		ber  = 1e-7
+		unit = time.Second
+	)
+
+	fmt.Println("goal sweep (BBW, BER 1e-7, unit 1s):")
+	fmt.Printf("%-12s  %-14s  %-14s  %-16s\n",
+		"goal", "diff. total k", "uniform total", "achieved P")
+	for _, goal := range []float64{0.99, 0.999, 0.9999, 0.99999, 0.999999} {
+		diff, err := coefficient.PlanDifferentiated(msgs, ber, unit, goal, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uni, err := coefficient.PlanUniform(msgs, ber, unit, goal, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12g  %-14d  %-14d  %.9f\n",
+			goal, diff.Total(), uni.Total(), diff.Success)
+	}
+
+	fmt.Println("\nIEC 61508 levels over one hour:")
+	for _, sil := range []coefficient.SIL{coefficient.SIL1, coefficient.SIL2, coefficient.SIL3, coefficient.SIL4} {
+		fmt.Printf("  %v: tolerable failures/hour %g, goal over 1s = %.12f\n",
+			sil, sil.MaxFailuresPerHour(), sil.Goal(unit))
+	}
+
+	fmt.Println("\nper-message failure probabilities (BER 1e-7):")
+	for _, m := range msgs[:5] {
+		p, err := coefficient.FrameFailureProb(ber, m.Bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %5d bits -> p_z = %.3e\n", m.Name, m.Bits, p)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/flexray-go/coefficient
+
+go 1.22

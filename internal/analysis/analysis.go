@@ -1,0 +1,236 @@
+// Package analysis computes worst-case response times (WCRT) for FlexRay
+// messages — the timing analysis the paper's related work attributes to Pop
+// et al. ("Timing analysis of the FlexRay communication protocol") and uses
+// to judge schedulability.
+//
+// Static messages: under TDMA with a (base cycle, repetition) slot cadence,
+// the worst case releases an instance immediately after its slot's action
+// point; it then waits one full cadence for the next owned slot and the
+// transmission itself.
+//
+// Dynamic messages: under FTDMA, a frame with ID f transmits once the slot
+// counter reaches f with enough minislots left (pLatestTx).  In the worst
+// case every lower-ID dynamic frame transmits first in each cycle; if the
+// remaining window is too short, the frame waits for the next cycle.  The
+// analysis iterates cycles until the frame provably fits, or reports
+// unbounded when higher-priority traffic can saturate every cycle.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/schedule"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Errors returned by the analysis.
+var (
+	// ErrUnknownMessage is returned when the frame ID is not in the set.
+	ErrUnknownMessage = errors.New("analysis: unknown frame ID")
+	// ErrUnbounded is returned when no finite WCRT exists (the frame can
+	// be starved forever).
+	ErrUnbounded = errors.New("analysis: response time unbounded")
+)
+
+// Result is one message's worst-case response time.
+type Result struct {
+	// FrameID identifies the message.
+	FrameID int
+	// WCRT is the worst-case release-to-delivery time.
+	WCRT time.Duration
+	// MeetsDeadline compares WCRT against the message deadline.
+	MeetsDeadline bool
+}
+
+// maxCycleSearch bounds the dynamic-segment iteration.
+const maxCycleSearch = 256
+
+// maxPhaseSearch bounds the number of release phases examined by the exact
+// static analysis; phases repeat with period cadence/gcd(period, cadence),
+// far below this cap for realistic parameters.
+const maxPhaseSearch = 1024
+
+// StaticWCRT computes the exact worst-case response time of the static
+// message with the given frame ID under the schedule table, accounting for
+// the message's release offset and the slot's (base cycle, repetition)
+// cadence: it walks the release phases until they repeat and takes the
+// largest release-to-slot-end distance.
+func StaticWCRT(tbl *schedule.Table, frameID int) (Result, error) {
+	for _, e := range tbl.Entries {
+		if e.FrameID != frameID {
+			continue
+		}
+		cfg := tbl.Config
+		m := e.Message
+		var (
+			period    = cfg.FromDuration(m.Period)
+			offset    = cfg.FromDuration(m.Offset)
+			cadence   = timebase.Macrotick(e.Repetition) * cfg.MacroPerCycle
+			slotStart = timebase.Macrotick(frameID-1) * cfg.StaticSlotLen
+		)
+		var wc timebase.Macrotick
+		seen := make(map[timebase.Macrotick]bool)
+		for k := timebase.Macrotick(0); k < maxPhaseSearch; k++ {
+			rel := offset + k*period
+			phase := rel % cadence
+			if seen[phase] {
+				break
+			}
+			seen[phase] = true
+			// Earliest owned slot (cycle ≡ base mod repetition) whose
+			// start is at or after the release.
+			c := (rel - slotStart + cfg.MacroPerCycle - 1) / cfg.MacroPerCycle
+			if c < 0 {
+				c = 0
+			}
+			rep := timebase.Macrotick(e.Repetition)
+			base := timebase.Macrotick(e.BaseCycle)
+			if r := (c - base) % rep; r != 0 {
+				c += rep - ((r + rep) % rep)
+			}
+			if c < base {
+				c = base
+			}
+			end := c*cfg.MacroPerCycle + slotStart + cfg.StaticSlotLen
+			if resp := end - rel; resp > wc {
+				wc = resp
+			}
+		}
+		wcrt := cfg.ToDuration(wc)
+		return Result{
+			FrameID:       frameID,
+			WCRT:          wcrt,
+			MeetsDeadline: wcrt <= m.Deadline,
+		}, nil
+	}
+	return Result{}, fmt.Errorf("%w: static %d", ErrUnknownMessage, frameID)
+}
+
+// StaticWCRTAnyPhase returns the phase-oblivious bound — one full cadence
+// plus the slot end within the cycle — the right figure when release
+// offsets are unknown or may drift.
+func StaticWCRTAnyPhase(tbl *schedule.Table, frameID int) (Result, error) {
+	for _, e := range tbl.Entries {
+		if e.FrameID != frameID {
+			continue
+		}
+		cfg := tbl.Config
+		cadence := timebase.Macrotick(e.Repetition) * cfg.MacroPerCycle
+		slotEnd := timebase.Macrotick(frameID) * cfg.StaticSlotLen
+		wcrt := cfg.ToDuration(cadence + slotEnd)
+		return Result{
+			FrameID:       frameID,
+			WCRT:          wcrt,
+			MeetsDeadline: wcrt <= e.Message.Deadline,
+		}, nil
+	}
+	return Result{}, fmt.Errorf("%w: static %d", ErrUnknownMessage, frameID)
+}
+
+// DynamicWCRT computes the worst-case response time of the dynamic message
+// with the given frame ID, assuming every lower-ID dynamic message has a
+// pending instance in every cycle (the FTDMA worst case).  bitRate converts
+// payloads to wire time.
+func DynamicWCRT(set signal.Set, cfg timebase.Config, bitRate int64, frameID int) (Result, error) {
+	var target *signal.Message
+	var interferers []*signal.Message
+	dyn := set.Dynamic()
+	for i := range dyn {
+		m := &dyn[i]
+		switch {
+		case m.ID == frameID:
+			target = m
+		case m.ID < frameID:
+			interferers = append(interferers, m)
+		}
+	}
+	if target == nil {
+		return Result{}, fmt.Errorf("%w: dynamic %d", ErrUnknownMessage, frameID)
+	}
+
+	dur := func(m *signal.Message) timebase.Macrotick {
+		return frame.Duration(m.Bytes(), bitRate, cfg)
+	}
+	needMinislots := cfg.MinislotsForFrame(dur(target))
+	latestTx := cfg.LatestTx
+	if latestTx == 0 {
+		maxDyn := dur(target)
+		for _, m := range interferers {
+			if d := dur(m); d > maxDyn {
+				maxDyn = d
+			}
+		}
+		latestTx = cfg.DeriveLatestTx(maxDyn)
+	}
+
+	// Walk worst-case cycles: in each, all lower-ID frames (one instance
+	// each, re-pending every cycle in the worst case) consume minislots
+	// before the slot counter reaches the target's ID.
+	for cycle := 0; cycle < maxCycleSearch; cycle++ {
+		minislot := 1
+		slotCounter := cfg.StaticSlots + 1
+		for slotCounter < frameID && minislot <= cfg.Minislots {
+			consumed := 1 // empty dynamic slot costs one minislot
+			for _, m := range interferers {
+				if m.ID == slotCounter && minislot <= latestTx {
+					if cfg.MinislotsForFrame(dur(m)) <= cfg.Minislots-minislot+1 {
+						consumed = cfg.MinislotsForFrame(dur(m))
+					}
+					break
+				}
+			}
+			minislot += consumed
+			slotCounter++
+		}
+		if slotCounter == frameID && minislot <= latestTx &&
+			needMinislots <= cfg.Minislots-minislot+1 {
+			// The frame transmits in this cycle.  Worst-case release
+			// is just after the previous cycle's opportunity: the
+			// response spans the cycles waited plus the position of
+			// the transmission end within this cycle.
+			endMT := cfg.StaticSegmentLen() +
+				timebase.Macrotick(minislot-1)*cfg.MinislotLen +
+				cfg.MinislotActionPointOffset + dur(target)
+			wcrtMT := timebase.Macrotick(cycle+1)*cfg.MacroPerCycle + endMT
+			wcrt := cfg.ToDuration(wcrtMT)
+			return Result{
+				FrameID:       frameID,
+				WCRT:          wcrt,
+				MeetsDeadline: wcrt <= target.Deadline,
+			}, nil
+		}
+	}
+	return Result{FrameID: frameID}, fmt.Errorf("%w: dynamic %d", ErrUnbounded, frameID)
+}
+
+// All computes WCRTs for every message in the set (static via the schedule
+// table, dynamic via the FTDMA analysis), in frame ID order.
+func All(set signal.Set, cfg timebase.Config, bitRate int64) ([]Result, error) {
+	tbl, err := schedule.Build(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, m := range set.Static() {
+		r, err := StaticWCRT(tbl, m.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	for _, m := range set.Dynamic() {
+		r, err := DynamicWCRT(set, cfg, bitRate, m.ID)
+		if err != nil && !errors.Is(err, ErrUnbounded) {
+			return nil, err
+		}
+		if errors.Is(err, ErrUnbounded) {
+			r = Result{FrameID: m.ID, WCRT: -1}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

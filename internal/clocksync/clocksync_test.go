@@ -1,0 +1,174 @@
+package clocksync
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+func TestFTMDiscard(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {7, 1}, {8, 2}, {20, 2},
+	}
+	for _, tt := range tests {
+		if got := FTMDiscard(tt.n); got != tt.want {
+			t.Errorf("FTMDiscard(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestFTMHandComputed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []timebase.Macrotick
+		want timebase.Macrotick
+	}{
+		{"single", []timebase.Macrotick{6}, 6},
+		{"pair", []timebase.Macrotick{2, 10}, 6},
+		{"discard one each side", []timebase.Macrotick{-100, 2, 10, 200}, 6},
+		{"discard two each side", []timebase.Macrotick{-900, -100, 0, 4, 8, 12, 100, 900}, 6},
+		{"negative midpoint", []timebase.Macrotick{-10, -2}, -6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := FTM(tt.in)
+			if err != nil {
+				t.Fatalf("FTM: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("FTM(%v) = %d, want %d", tt.in, got, tt.want)
+			}
+		})
+	}
+	if _, err := FTM(nil); !errors.Is(err, ErrNoMeasurements) {
+		t.Errorf("FTM(nil) = %v, want ErrNoMeasurements", err)
+	}
+}
+
+// Property: the FTM result lies within the range of the kept values, and
+// up to k adversarial outliers cannot push it outside the honest range
+// (when at least k honest values flank them).
+func TestFTMBoundedByHonestRangeProperty(t *testing.T) {
+	f := func(honestRaw []int8, outlier int32) bool {
+		if len(honestRaw) < 6 {
+			return true
+		}
+		honest := make([]timebase.Macrotick, 0, len(honestRaw))
+		var lo, hi timebase.Macrotick
+		for i, h := range honestRaw {
+			v := timebase.Macrotick(h)
+			honest = append(honest, v)
+			if i == 0 || v < lo {
+				lo = v
+			}
+			if i == 0 || v > hi {
+				hi = v
+			}
+		}
+		// Two adversarial extremes (k=2 territory needs n ≥ 8 total).
+		all := append(append([]timebase.Macrotick(nil), honest...),
+			timebase.Macrotick(outlier)+100000, -timebase.Macrotick(outlier)-100000)
+		got, err := FTM(all)
+		if err != nil {
+			return false
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateConverges(t *testing.T) {
+	rep, err := Simulate(Config{
+		Cycles:           200,
+		SyncNodes:        10,
+		MaxInitialOffset: 400,
+		MaxDrift:         3,
+		MeasurementNoise: 2,
+		Seed:             1,
+	}, 40)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !rep.Converged {
+		t.Fatalf("did not converge: %+v", rep)
+	}
+	if rep.FinalPrecision >= rep.InitialPrecision {
+		t.Errorf("precision did not improve: initial %d, final %d",
+			rep.InitialPrecision, rep.FinalPrecision)
+	}
+}
+
+func TestSimulateToleratesFaultyClocks(t *testing.T) {
+	// Two adversarial clocks among ten: FTM's k=2 grading must keep the
+	// honest clocks synchronized.
+	rep, err := Simulate(Config{
+		Cycles:           200,
+		SyncNodes:        10,
+		MaxInitialOffset: 400,
+		MaxDrift:         3,
+		MeasurementNoise: 2,
+		FaultyNodes:      2,
+		Seed:             7,
+	}, 60)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !rep.Converged {
+		t.Fatalf("honest clocks diverged under 2 faulty nodes: %+v", rep)
+	}
+}
+
+func TestSimulateWithoutCorrectionWouldDiverge(t *testing.T) {
+	// Sanity: with drift and long horizon, the INITIAL precision is far
+	// smaller than drift×cycles, so convergence is the algorithm's doing.
+	rep, err := Simulate(Config{
+		Cycles:           400,
+		SyncNodes:        6,
+		MaxInitialOffset: 100,
+		MaxDrift:         5,
+		MeasurementNoise: 1,
+		Seed:             3,
+	}, 50)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Uncorrected, clocks with ±5 drift would spread by up to 4000 over
+	// 400 cycles; the loop must hold them within the bound.
+	if !rep.Converged {
+		t.Fatalf("drifting clocks not held together: %+v", rep)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{Cycles: 2, SyncNodes: 5}, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("too few cycles accepted: %v", err)
+	}
+	if _, err := Simulate(Config{Cycles: 100, SyncNodes: 1}, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("one node accepted: %v", err)
+	}
+	if _, err := Simulate(Config{Cycles: 100, SyncNodes: 4, FaultyNodes: 4}, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("all-faulty accepted: %v", err)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := Config{
+		Cycles: 100, SyncNodes: 8, MaxInitialOffset: 300,
+		MaxDrift: 2, MeasurementNoise: 1, Seed: 5,
+	}
+	a, err := Simulate(cfg, 40)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, err := Simulate(cfg, 40)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if a != b {
+		t.Errorf("same-seed sync runs differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,709 @@
+// Package core implements CoEfficient, the paper's contribution: a FlexRay
+// scheduler that cooperatively schedules the static and dynamic segments in
+// a dual-channel manner and guarantees a quantitative reliability goal with
+// differentiated retransmission placed into selectively stolen slack.
+//
+// The three task classes of Section III-A map onto the simulator as:
+//
+//   - static segments — hard periodic tasks, transmitted in their TDMA
+//     slots on channel A;
+//   - retransmitted segments — hard aperiodic tasks, queued EDF and served
+//     in stolen slack: idle static slots of either channel (selective: only
+//     slots long enough for the frame) and matching dynamic slots;
+//   - dynamic segments — soft aperiodic tasks, served by the FTDMA walk and
+//     additionally in stolen static slack (the cooperative half).
+//
+// The retransmission budget k_z per message comes from the differentiated
+// planner of internal/reliability (Theorem 1); the slack analysis and the
+// runtime stealer of internal/slack provide the admission guarantee for
+// retransmission jobs on channel A.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/node"
+	"github.com/flexray-go/coefficient/internal/reliability"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/sim"
+	"github.com/flexray-go/coefficient/internal/slack"
+	"github.com/flexray-go/coefficient/internal/task"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Options configures the CoEfficient scheduler.
+type Options struct {
+	// BER is the assumed bit error rate of the channel (drives the
+	// retransmission plan).
+	BER float64
+	// Goal is the reliability goal ρ in (0, 1); 0 defaults to the SIL3
+	// goal over Unit.
+	Goal float64
+	// Unit is the time unit u of Theorem 1; 0 defaults to one second.
+	Unit time.Duration
+	// MaxRetx caps per-message retransmissions (0: library default).
+	MaxRetx int
+
+	// Uniform switches the ablation from differentiated to uniform
+	// retransmission planning.
+	Uniform bool
+	// SingleChannel disables the use of channel B (ablation).
+	SingleChannel bool
+	// NoSelectiveSlack disables skipping over a non-fitting EDF head
+	// when placing retransmissions (ablation: head-of-line blocking).
+	NoSelectiveSlack bool
+	// NoSlackAdmission disables the slack-stealer admission analysis
+	// (jobs are queued best-effort only).
+	NoSlackAdmission bool
+	// FullAdmission runs the exact interval-series acceptance test
+	// (slack.Stealer.AdmitHard) for every retransmission job.  The
+	// default is a cheap sufficient test — admit when the immediately
+	// available slack S(t) covers the admitted backlog plus the new job —
+	// which is sound but conservative, and O(levels) instead of a full
+	// schedule projection per job.
+	FullAdmission bool
+	// Reactive switches from the paper-faithful proactive replication
+	// (k_z blind copies per instance, FlexRay has no acknowledgements) to
+	// an extension that retransmits only after an observed fault through
+	// an application-level acknowledgement, as in the dependability
+	// protocol of Li et al. (DATE'09).  Reactive mode uses far less
+	// bandwidth at the same delivered reliability.
+	Reactive bool
+}
+
+// retxJob is one pending retransmission: a hard aperiodic task.
+type retxJob struct {
+	in       *node.Instance
+	deadline timebase.Macrotick
+	duration timebase.Macrotick
+	name     string
+	admitted bool
+	seq      int64
+}
+
+// Stats reports scheduler-internal counters for experiments and tests.
+type Stats struct {
+	// PlannedRetx is Σ k_z over the retransmission plan.
+	PlannedRetx int
+	// JobsCreated counts retransmission jobs enqueued.
+	JobsCreated int64
+	// JobsAdmitted counts jobs that passed the slack admission test.
+	JobsAdmitted int64
+	// StolenStatic counts transmissions placed into idle static slots.
+	StolenStatic int64
+	// StolenSoft counts dynamic (soft) messages served in static slack.
+	StolenSoft int64
+	// BudgetExhausted counts instances whose retransmission budget ran
+	// out and fell back to best-effort service.
+	BudgetExhausted int64
+}
+
+// Scheduler is the CoEfficient policy.
+type Scheduler struct {
+	opts Options
+	env  *sim.Env
+
+	// plan maps frame ID → k_z.
+	plan map[int]int
+
+	// Channel-A slack machinery (nil when the model is unavailable).
+	analysis *slack.Analysis
+	stealer  *slack.Stealer
+	// taskIdx maps static frame IDs to priority indices of the analysis.
+	taskIdx map[int]int
+
+	// retx is the EDF-ordered retransmission queue; jobs indexes it by
+	// instance (reactive mode, where at most one job per instance
+	// exists).
+	retx    []*retxJob
+	jobs    map[*node.Instance]*retxJob
+	nextSeq int64
+	// spawned marks instances whose proactive copies were already
+	// enqueued.
+	spawned map[*node.Instance]bool
+
+	// dynHardA and dynSoftA accumulate channel-A dynamic-segment service
+	// since the last cycle start, reported to the stealer lazily.
+	dynHardA, dynSoftA timebase.Macrotick
+	// admittedBacklog tracks the remaining work of quick-admitted jobs.
+	admittedBacklog timebase.Macrotick
+
+	stats Stats
+}
+
+var _ sim.Scheduler = (*Scheduler)(nil)
+
+// New returns a CoEfficient scheduler.
+func New(opts Options) *Scheduler {
+	if opts.Unit <= 0 {
+		opts.Unit = time.Second
+	}
+	if opts.Goal == 0 {
+		opts.Goal = reliability.SIL3.Goal(opts.Unit)
+	}
+	return &Scheduler{
+		opts:    opts,
+		jobs:    make(map[*node.Instance]*retxJob),
+		spawned: make(map[*node.Instance]bool),
+	}
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "CoEfficient" }
+
+// Stats returns the scheduler-internal counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Plan returns the retransmission budget k_z for a frame ID.
+func (s *Scheduler) Plan(frameID int) int { return s.plan[frameID] }
+
+// Init implements sim.Scheduler: it computes the differentiated
+// retransmission plan and builds the channel-A slack analysis.
+func (s *Scheduler) Init(env *sim.Env) error {
+	s.env = env
+	if err := s.buildPlan(); err != nil {
+		return fmt.Errorf("core: retransmission plan: %w", err)
+	}
+	s.buildSlackModel()
+	return nil
+}
+
+// buildPlan runs the reliability planner over every message.
+func (s *Scheduler) buildPlan() error {
+	s.plan = make(map[int]int, len(s.env.Set.Messages))
+	if s.opts.BER <= 0 {
+		return nil // fault-free assumption: no planned retransmissions
+	}
+	msgs := make([]reliability.Message, 0, len(s.env.Set.Messages))
+	ids := make([]int, 0, len(s.env.Set.Messages))
+	for i := range s.env.Set.Messages {
+		m := &s.env.Set.Messages[i]
+		period := m.Period
+		if period <= 0 {
+			period = m.Deadline
+		}
+		msgs = append(msgs, reliability.Message{
+			Name:   m.Name,
+			Bits:   frame.WireBits(m.Bytes()),
+			Period: period,
+		})
+		ids = append(ids, m.ID)
+	}
+	planFn := reliability.PlanDifferentiated
+	if s.opts.Uniform {
+		planFn = reliability.PlanUniform
+	}
+	plan, err := planFn(msgs, s.opts.BER, s.opts.Unit, s.opts.Goal, s.opts.MaxRetx)
+	if err != nil {
+		return err
+	}
+	for i, id := range ids {
+		s.plan[id] = plan.Retransmissions[i]
+	}
+	s.stats.PlannedRetx = plan.Total()
+	return nil
+}
+
+// buildSlackModel maps the static messages to hard periodic tasks on
+// channel A and constructs the analysis and stealer.  The model is an
+// admission aid: when it cannot be built (empty static set, model
+// unschedulable, oversubscribed), CoEfficient degrades to best-effort
+// retransmission queueing, never failing the run.
+func (s *Scheduler) buildSlackModel() {
+	if s.opts.NoSlackAdmission {
+		return
+	}
+	statics := s.env.Set.Static()
+	if len(statics) == 0 {
+		return
+	}
+	cfg := s.env.Cfg
+	tasks := make([]task.Periodic, 0, len(statics))
+	for _, m := range statics {
+		tasks = append(tasks, task.Periodic{
+			Name: m.Name,
+			C:    cfg.StaticSlotLen,
+			T:    cfg.FromDuration(m.Period),
+			Phi:  cfg.FromDuration(m.Offset),
+			D:    cfg.FromDuration(m.Deadline),
+		})
+	}
+	set, err := task.NewSet(tasks)
+	if err != nil {
+		return
+	}
+	analysis, err := slack.NewAnalysis(set)
+	if err != nil {
+		return
+	}
+	s.analysis = analysis
+	s.stealer = slack.NewStealer(analysis)
+	s.taskIdx = make(map[int]int, len(statics))
+	for _, m := range statics {
+		for idx, tk := range set.Tasks {
+			if tk.Name == m.Name {
+				s.taskIdx[m.ID] = idx
+				break
+			}
+		}
+	}
+}
+
+// CycleStart implements sim.Scheduler.
+func (s *Scheduler) CycleStart(_ int64, now timebase.Macrotick) {
+	if s.stealer != nil {
+		// Reconcile the stealer clock with the bus: report the
+		// dynamic-segment service accumulated on channel A, then the
+		// remaining gap as inactivity.
+		if s.dynHardA > 0 {
+			_ = s.stealer.RunAperiodicSoft(s.dynHardA)
+		}
+		if s.dynSoftA > 0 {
+			_ = s.stealer.RunAperiodicSoft(s.dynSoftA)
+		}
+		if gap := now - s.stealer.Now(); gap > 0 {
+			_ = s.stealer.Idle(gap)
+		}
+	}
+	s.dynHardA, s.dynSoftA = 0, 0
+	s.purgeExpired(now)
+}
+
+// purgeExpired retires retransmission jobs whose deadline has passed.  In
+// reactive mode the instance returns to its home queue so the engine's
+// expiry sweep counts the drop — jobs must never make an instance vanish
+// unaccounted.  In proactive mode the instance never left its home queue,
+// so the job is simply discarded.
+func (s *Scheduler) purgeExpired(now timebase.Macrotick) {
+	keep := s.retx[:0]
+	for _, j := range s.retx {
+		if j.deadline != node.NoDeadline && now > j.deadline {
+			s.releaseAdmission(j)
+			if s.opts.Reactive {
+				delete(s.jobs, j.in)
+				s.requeueHome(j.in)
+			}
+			continue
+		}
+		keep = append(keep, j)
+	}
+	s.retx = keep
+}
+
+// StaticSlot implements sim.Scheduler.
+func (s *Scheduler) StaticSlot(ch frame.Channel, _ int64, slot int, now timebase.Macrotick) *sim.Transmission {
+	cfg := s.env.Cfg
+	if ch == frame.ChannelB {
+		if s.opts.SingleChannel {
+			return nil
+		}
+		// Channel B carries no primary static traffic: its whole
+		// static segment is a steal pool.
+		return s.pickSteal(ch, now, cfg.StaticSlotLen, true /* static slack */, false)
+	}
+
+	// Channel A: the owner first.
+	if m, ok := s.env.StaticMsgs[slot]; ok && s.env.Attached(m.Node, ch) {
+		ecu := s.env.ECUs[m.Node]
+		if in := ecu.PeekStatic(slot, now); in != nil {
+			s.reportOwnerSlot(slot, in)
+			s.maybeSpawnCopies(in)
+			return &sim.Transmission{
+				Instance: in,
+				Channel:  ch,
+				Duration: s.env.FrameDuration(m),
+				Retx:     in.Attempts > 0,
+			}
+		}
+	}
+	// Idle slot: steal it.
+	return s.pickSteal(ch, now, cfg.StaticSlotLen, true, true)
+}
+
+// reportOwnerSlot tells the stealer the owner consumed its slot.  A
+// best-effort retry beyond the released periodic work is reported as
+// aperiodic consumption instead (it is not part of the periodic model).
+func (s *Scheduler) reportOwnerSlot(slot int, in *node.Instance) {
+	if s.stealer == nil {
+		return
+	}
+	slotLen := s.env.Cfg.StaticSlotLen
+	idx, ok := s.taskIdx[slot]
+	if !ok || in.Attempts > 0 {
+		_ = s.stealer.RunAperiodicSoft(slotLen)
+		return
+	}
+	if pending, err := s.stealer.Pending(idx); err != nil || pending <= 0 {
+		_ = s.stealer.RunAperiodicSoft(slotLen)
+		return
+	}
+	if err := s.stealer.RunPeriodic(idx, slotLen); err != nil {
+		_ = s.stealer.Idle(slotLen)
+	}
+}
+
+// pickSteal selects work for an idle slot: retransmission jobs EDF-first
+// (selectively skipping frames that do not fit), then soft dynamic
+// messages (cooperative scheduling).  reportA says the choice must be
+// reported to the channel-A stealer.
+func (s *Scheduler) pickSteal(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
+	if tx := s.stealRetx(ch, now, capacity, staticSlack, reportA); tx != nil {
+		return tx
+	}
+	if tx := s.stealSoft(ch, now, capacity, staticSlack, reportA); tx != nil {
+		return tx
+	}
+	if reportA && s.stealer != nil {
+		_ = s.stealer.Idle(capacity)
+	}
+	return nil
+}
+
+// stealRetx serves the retransmission queue.
+func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
+	for _, j := range s.retx {
+		if !s.env.Attached(j.in.Msg.Node, ch) {
+			continue
+		}
+		fits := j.duration <= capacity &&
+			(j.deadline == node.NoDeadline || now+j.duration <= j.deadline)
+		if fits {
+			s.reportSteal(reportA, j.duration, capacity)
+			if staticSlack {
+				s.stats.StolenStatic++
+			}
+			return &sim.Transmission{
+				Instance: j.in,
+				Channel:  ch,
+				Duration: j.duration,
+				Retx:     true,
+				Stolen:   staticSlack,
+				Detail:   "retx",
+				Tag:      j,
+			}
+		}
+		if s.opts.NoSelectiveSlack {
+			return nil // head-of-line blocking (ablation)
+		}
+	}
+	return nil
+}
+
+// stealSoft serves pending dynamic messages in static slack.
+func (s *Scheduler) stealSoft(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
+	type cand struct {
+		in  *node.Instance
+		dur timebase.Macrotick
+	}
+	var cands []cand
+	for _, ecu := range s.env.ECUs {
+		in := ecu.PeekDynamicAny(now)
+		if in == nil || !s.env.Attached(in.Msg.Node, ch) {
+			continue
+		}
+		cands = append(cands, cand{in: in, dur: s.env.FrameDuration(in.Msg)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i].in, cands[j].in
+		if a.Msg.Priority != b.Msg.Priority {
+			return a.Msg.Priority < b.Msg.Priority
+		}
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		return a.Msg.ID < b.Msg.ID
+	})
+	for _, c := range cands {
+		if c.dur > capacity {
+			if s.opts.NoSelectiveSlack {
+				return nil
+			}
+			continue
+		}
+		s.reportSteal(reportA, c.dur, capacity)
+		if staticSlack {
+			s.stats.StolenSoft++
+		}
+		return &sim.Transmission{
+			Instance: c.in,
+			Channel:  ch,
+			Duration: c.dur,
+			Retx:     c.in.Attempts > 0,
+			Stolen:   staticSlack,
+			Detail:   "coop-dynamic",
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) reportSteal(reportA bool, dur, capacity timebase.Macrotick) {
+	if !reportA || s.stealer == nil {
+		return
+	}
+	_ = s.stealer.RunAperiodicSoft(dur)
+	if rest := capacity - dur; rest > 0 {
+		_ = s.stealer.Idle(rest)
+	}
+}
+
+// DynamicSlot implements sim.Scheduler: the FTDMA walk serves the priority
+// queue of the slot counter's frame ID, falling back to a retransmission
+// job with the matching frame ID.
+func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remaining int, now timebase.Macrotick) *sim.Transmission {
+	if ch == frame.ChannelB && s.opts.SingleChannel {
+		return nil
+	}
+	m, ok := s.env.DynamicMsgs[slotCounter]
+	if !ok || !s.env.Attached(m.Node, ch) {
+		return nil
+	}
+	ecu := s.env.ECUs[m.Node]
+	dur := s.env.FrameDuration(m)
+	if s.env.Cfg.MinislotsForFrame(dur) > remaining {
+		return nil
+	}
+	if in := ecu.PeekDynamicFor(slotCounter, now); in != nil {
+		if ch == frame.ChannelA {
+			s.dynSoftA += dur
+		}
+		s.maybeSpawnCopies(in)
+		return &sim.Transmission{
+			Instance: in,
+			Channel:  ch,
+			Duration: dur,
+			Retx:     in.Attempts > 0,
+		}
+	}
+	// Retransmission job for this frame ID, if any fits the window.
+	for _, j := range s.retx {
+		if j.in.Msg.ID != slotCounter {
+			continue
+		}
+		if j.deadline != node.NoDeadline && now+j.duration > j.deadline {
+			continue
+		}
+		if s.env.Cfg.MinislotsForFrame(j.duration) > remaining {
+			continue
+		}
+		if ch == frame.ChannelA {
+			s.dynHardA += j.duration
+		}
+		return &sim.Transmission{
+			Instance: j.in,
+			Channel:  ch,
+			Duration: j.duration,
+			Retx:     true,
+			Detail:   "retx-dynamic",
+			Tag:      j,
+		}
+	}
+	return nil
+}
+
+// maybeSpawnCopies enqueues, in proactive mode, the k_z blind copy jobs of
+// an instance the first time its primary transmission is scheduled.
+func (s *Scheduler) maybeSpawnCopies(in *node.Instance) {
+	if s.opts.Reactive || s.spawned[in] {
+		return
+	}
+	k := s.plan[in.Msg.ID]
+	if k <= 0 {
+		return
+	}
+	s.spawned[in] = true
+	for i := 0; i < k; i++ {
+		s.enqueueJob(in, fmt.Sprintf("copy-%d-%d-%d", in.Msg.ID, in.Seq, i))
+	}
+}
+
+// Result implements sim.Scheduler.
+func (s *Scheduler) Result(tx *sim.Transmission, ok bool, now timebase.Macrotick) {
+	in := tx.Instance
+	if !s.opts.Reactive {
+		// Proactive replication: every copy job is one wire attempt,
+		// retired once transmitted regardless of outcome (no
+		// acknowledgements).  A delivered instance leaves its home
+		// queue; its remaining copies still go out.
+		if j, isJob := tx.Tag.(*retxJob); isJob {
+			s.removeJob(j)
+		}
+		if in.Done {
+			s.finish(in)
+		}
+		return
+	}
+
+	// Reactive mode (acknowledgement-based extension).
+	if ok && in.Done {
+		s.finish(in)
+		return
+	}
+	if ok {
+		return
+	}
+	// Transient fault: decide on a retransmission.
+	budget := s.plan[in.Msg.ID]
+	if j, exists := s.jobs[in]; exists {
+		if in.Attempts <= budget {
+			return // the job stays queued and will retry
+		}
+		// Budget exhausted: fall back to best-effort in the home queue.
+		s.removeJob(j)
+		s.requeueHome(in)
+		s.stats.BudgetExhausted++
+		return
+	}
+	if in.Attempts <= budget {
+		s.createJob(in)
+	}
+	// Else: the instance stays in its home queue and retries best-effort
+	// in its own slots.
+	_ = now
+}
+
+// finish clears the scheduler state of a delivered instance.  In proactive
+// mode any not-yet-sent copies stay queued: without acknowledgements the
+// protocol cannot cancel them, and their bandwidth cost is part of the
+// scheme.
+func (s *Scheduler) finish(in *node.Instance) {
+	if s.opts.Reactive {
+		if j, exists := s.jobs[in]; exists {
+			s.removeJob(j)
+		}
+	}
+	delete(s.spawned, in)
+	ecu := s.env.ECUs[in.Msg.Node]
+	if in.Msg.Kind == signal.Periodic {
+		ecu.RemoveStatic(in)
+	} else {
+		ecu.RemoveDynamic(in)
+	}
+}
+
+// createJob turns a failed instance into a hard aperiodic retransmission
+// job (reactive mode): it leaves its home queue and enters the EDF
+// retransmission queue.
+func (s *Scheduler) createJob(in *node.Instance) {
+	ecu := s.env.ECUs[in.Msg.Node]
+	if in.Msg.Kind == signal.Periodic {
+		ecu.RemoveStatic(in)
+	} else {
+		ecu.RemoveDynamic(in)
+	}
+	j := s.enqueueJob(in, fmt.Sprintf("retx-%d-%d", in.Msg.ID, in.Seq))
+	s.jobs[in] = j
+}
+
+// enqueueJob creates one retransmission job with a slack-stealer admission
+// attempt on channel A and inserts it into the EDF queue.
+func (s *Scheduler) enqueueJob(in *node.Instance, name string) *retxJob {
+	s.nextSeq++
+	j := &retxJob{
+		in:       in,
+		deadline: in.Deadline,
+		duration: s.env.FrameDuration(in.Msg),
+		name:     name,
+		seq:      s.nextSeq,
+	}
+	if s.stealer != nil && j.deadline != node.NoDeadline && j.deadline > s.stealer.Now() {
+		if s.opts.FullAdmission {
+			ap := task.Aperiodic{
+				Name:    j.name,
+				Arrival: s.stealer.Now(),
+				P:       j.duration,
+				D:       j.deadline,
+			}
+			if err := s.stealer.AdmitHard(ap); err == nil {
+				j.admitted = true
+				s.stats.JobsAdmitted++
+			}
+		} else if avail, err := s.stealer.Available(); err == nil &&
+			avail >= s.admittedBacklog+j.duration {
+			// Sufficient test: the slack available right now covers
+			// everything already guaranteed plus this job.
+			j.admitted = true
+			s.admittedBacklog += j.duration
+			s.stats.JobsAdmitted++
+		}
+	}
+	s.retx = append(s.retx, j)
+	sort.SliceStable(s.retx, func(a, b int) bool {
+		if s.retx[a].deadline != s.retx[b].deadline {
+			return s.retx[a].deadline < s.retx[b].deadline
+		}
+		return s.retx[a].seq < s.retx[b].seq
+	})
+	s.stats.JobsCreated++
+	return j
+}
+
+// removeJob deletes a job from the queue and the stealer.
+func (s *Scheduler) removeJob(j *retxJob) {
+	delete(s.jobs, j.in)
+	for i, q := range s.retx {
+		if q == j {
+			s.retx = append(s.retx[:i], s.retx[i+1:]...)
+			break
+		}
+	}
+	s.releaseAdmission(j)
+}
+
+// releaseAdmission returns a job's guaranteed capacity to the pool.
+func (s *Scheduler) releaseAdmission(j *retxJob) {
+	if !j.admitted {
+		return
+	}
+	j.admitted = false
+	if s.opts.FullAdmission {
+		if s.stealer != nil {
+			s.stealer.DropGuaranteed(j.name)
+		}
+		return
+	}
+	s.admittedBacklog -= j.duration
+	if s.admittedBacklog < 0 {
+		s.admittedBacklog = 0
+	}
+}
+
+// requeueHome puts an instance back into its ECU queue for best-effort
+// service.
+func (s *Scheduler) requeueHome(in *node.Instance) {
+	ecu := s.env.ECUs[in.Msg.Node]
+	var err error
+	if in.Msg.Kind == signal.Periodic {
+		err = ecu.RequeueStatic(in)
+	} else {
+		err = ecu.EnqueueDynamic(in)
+	}
+	if err != nil {
+		// The instance belongs to this ECU by construction.
+		panic("core: requeue failed: " + err.Error())
+	}
+}
+
+// InstanceDropped implements sim.Scheduler.
+func (s *Scheduler) InstanceDropped(in *node.Instance, _ timebase.Macrotick) {
+	if j, exists := s.jobs[in]; exists {
+		s.removeJob(j)
+	}
+	delete(s.spawned, in)
+	// Proactive copies of a dropped instance are pointless: discard them.
+	keep := s.retx[:0]
+	for _, j := range s.retx {
+		if j.in == in {
+			s.releaseAdmission(j)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	s.retx = keep
+}
+
+// RetxQueueLen returns the number of pending retransmission jobs (for
+// tests).
+func (s *Scheduler) RetxQueueLen() int { return len(s.retx) }

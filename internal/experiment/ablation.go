@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/core"
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/workload"
+)
+
+// AblationRow reports one CoEfficient variant on the standard workload.
+type AblationRow struct {
+	// Variant names the knob setting.
+	Variant string
+	// MissRatio is the overall deadline miss ratio.
+	MissRatio float64
+	// DynamicMean is the mean dynamic-segment latency.
+	DynamicMean time.Duration
+	// RawUtilization is all wire time over capacity.
+	RawUtilization float64
+	// StolenStatic counts transmissions placed into idle static slots.
+	StolenStatic int64
+}
+
+// AblationOptions configures the ablation sweep.
+type AblationOptions struct {
+	// Scenario defaults to BER7.
+	Scenario Scenario
+	// Seed drives arrivals and faults.
+	Seed uint64
+	// Quick shrinks the horizon.
+	Quick bool
+	// Minislots defaults to 50.
+	Minislots int
+}
+
+// Ablations runs the design-choice ablations of DESIGN.md §4 on the
+// BBW + SAE workload: the full CoEfficient configuration against variants
+// with one mechanism disabled each.
+func Ablations(opts AblationOptions) ([]AblationRow, error) {
+	if opts.Scenario.Label == "" {
+		opts.Scenario = BER7()
+	}
+	if opts.Minislots <= 0 {
+		opts.Minislots = 50
+	}
+	set, err := latencyWorkload(workload.BBW(), latencyStaticSlots, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := LatencySetup(set, latencyStaticSlots, opts.Minislots)
+	if err != nil {
+		return nil, err
+	}
+
+	base := core.Options{BER: opts.Scenario.BER, Goal: opts.Scenario.Goal, Unit: PlanUnit}
+	variants := []struct {
+		name   string
+		mutate func(*core.Options)
+	}{
+		{"full", func(*core.Options) {}},
+		{"uniform-plan", func(o *core.Options) { o.Uniform = true }},
+		{"single-channel", func(o *core.Options) { o.SingleChannel = true }},
+		{"no-selective-slack", func(o *core.Options) { o.NoSelectiveSlack = true }},
+		{"no-slack-admission", func(o *core.Options) { o.NoSlackAdmission = true }},
+		{"full-admission", func(o *core.Options) { o.FullAdmission = true }},
+		{"reactive", func(o *core.Options) { o.Reactive = true }},
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		o := base
+		v.mutate(&o)
+		sched := core.New(o)
+		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant:        v.name,
+			MissRatio:      res.Report.OverallMissRatio(),
+			DynamicMean:    res.Report.MeanLatency[metrics.Dynamic],
+			RawUtilization: res.Report.RawUtilization,
+			StolenStatic:   sched.Stats().StolenStatic,
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders the ablation rows.
+func AblationTable(rows []AblationRow) Table {
+	t := Table{
+		Title:  "CoEfficient ablations (BBW + SAE, BER-7)",
+		Header: []string{"variant", "miss ratio", "dyn mean", "raw bw", "stolen static"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Variant,
+			fmt.Sprintf("%.4f", r.MissRatio),
+			r.DynamicMean.String(),
+			fmt.Sprintf("%.4f", r.RawUtilization),
+			fmt.Sprintf("%d", r.StolenStatic),
+		})
+	}
+	return t
+}

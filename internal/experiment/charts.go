@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"sort"
+
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/plot"
+)
+
+// UtilizationChart renders Figure 3 as a line chart.
+func UtilizationChart(rows []UtilizationRow) *plot.Chart {
+	series := make(map[string]*plot.Series)
+	order := []string{}
+	for _, r := range rows {
+		s, ok := series[r.Scheduler]
+		if !ok {
+			s = &plot.Series{Name: r.Scheduler}
+			series[r.Scheduler] = s
+			order = append(order, r.Scheduler)
+		}
+		s.X = append(s.X, float64(r.Minislots))
+		s.Y = append(s.Y, r.Efficiency)
+	}
+	return assemble("Figure 3: bandwidth utilization", "minislots", "utilization", series, order)
+}
+
+// MissChart renders Figure 5 as a line chart (one series per scheduler and
+// scenario).
+func MissChart(rows []MissRow) *plot.Chart {
+	series := make(map[string]*plot.Series)
+	order := []string{}
+	for _, r := range rows {
+		key := r.Scheduler + " " + r.Scenario
+		s, ok := series[key]
+		if !ok {
+			s = &plot.Series{Name: key}
+			series[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, float64(r.Minislots))
+		s.Y = append(s.Y, r.MissRatio)
+	}
+	return assemble("Figure 5: deadline miss ratio", "minislots", "miss ratio", series, order)
+}
+
+// FrameLatencyChart renders Figure 4(a) as a line chart.
+func FrameLatencyChart(rows []FrameLatencyRow) *plot.Chart {
+	series := make(map[string]*plot.Series)
+	order := []string{}
+	for _, r := range rows {
+		s, ok := series[r.Scheduler]
+		if !ok {
+			s = &plot.Series{Name: r.Scheduler}
+			series[r.Scheduler] = s
+			order = append(order, r.Scheduler)
+		}
+		s.X = append(s.X, float64(r.FrameID))
+		s.Y = append(s.Y, float64(r.Mean.Microseconds()))
+	}
+	return assemble("Figure 4(a): static latency per frame ID", "frame ID", "mean latency (µs)", series, order)
+}
+
+// RunningTimeChart renders Figures 1/2 (the synthetic sweep) as a line
+// chart of running time against message count.
+func RunningTimeChart(title string, rows []RunningTimeRow) *plot.Chart {
+	series := make(map[string]*plot.Series)
+	order := []string{}
+	for _, r := range rows {
+		if r.Workload != "synthetic" {
+			continue
+		}
+		key := r.Scheduler
+		s, ok := series[key]
+		if !ok {
+			s = &plot.Series{Name: key}
+			series[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, float64(r.Messages))
+		s.Y = append(s.Y, r.RunningTime.Seconds())
+	}
+	return assemble(title, "messages", "running time (s)", series, order)
+}
+
+// LatencyChart renders one Figure 4 panel: mean latency against minislots
+// for the given workload and segment, one series per scheduler+scenario.
+func LatencyChart(rows []LatencyRow, workload string, segment metrics.SegmentKind) *plot.Chart {
+	series := make(map[string]*plot.Series)
+	order := []string{}
+	for _, r := range rows {
+		if r.Workload != workload || r.Segment != segment {
+			continue
+		}
+		key := r.Scheduler + " " + r.Scenario
+		s, ok := series[key]
+		if !ok {
+			s = &plot.Series{Name: key}
+			series[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, float64(r.Minislots))
+		s.Y = append(s.Y, float64(r.Mean.Microseconds()))
+	}
+	return assemble("Figure 4: "+workload+" "+segment.String()+" latency",
+		"minislots", "mean latency (µs)", series, order)
+}
+
+// assemble sorts each series by x and builds the chart.
+func assemble(title, xlabel, ylabel string, series map[string]*plot.Series, order []string) *plot.Chart {
+	c := &plot.Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+	for _, name := range order {
+		s := series[name]
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		sorted := plot.Series{Name: s.Name, X: make([]float64, len(idx)), Y: make([]float64, len(idx))}
+		for i, j := range idx {
+			sorted.X[i] = s.X[j]
+			sorted.Y[i] = s.Y[j]
+		}
+		c.Series = append(c.Series, sorted)
+	}
+	return c
+}

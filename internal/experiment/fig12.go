@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/sim"
+	"github.com/flexray-go/coefficient/internal/workload"
+)
+
+// RunningTimeRow is one point of Figures 1-2: the time to drain a fixed
+// batch of message instances.
+type RunningTimeRow struct {
+	// Workload is "BBW", "ACC" or "synthetic".
+	Workload string
+	// Slots is the static slot count (80 or 120).
+	Slots int
+	// Messages is the number of static messages in the batch.
+	Messages int
+	// Scheduler is the policy name.
+	Scheduler string
+	// RunningTime is the simulated makespan.
+	RunningTime time.Duration
+	// Retransmissions counts retransmission attempts on the wire.
+	Retransmissions int64
+}
+
+// RunningTimeOptions configures the Figures 1-2 harness.
+type RunningTimeOptions struct {
+	// Scenario selects the (BER, goal) pair: BER7 for Figure 1, BER9 for
+	// Figure 2.
+	Scenario Scenario
+	// Seed drives arrivals and fault injection.
+	Seed uint64
+	// Quick shrinks the batch for tests and smoke runs.
+	Quick bool
+	// Slots lists the static slot counts (default 80 and 120).
+	Slots []int
+	// MessageCounts sweeps the number of static messages for the
+	// real-world sets (default 5, 10, 15, 20; capped at 20).
+	MessageCounts []int
+	// SyntheticCounts sweeps the synthetic set sizes (default 20, 40, 60,
+	// 80).
+	SyntheticCounts []int
+}
+
+func (o *RunningTimeOptions) fill() {
+	if o.Scenario.Label == "" {
+		o.Scenario = BER7()
+	}
+	if len(o.Slots) == 0 {
+		o.Slots = []int{80, 120}
+	}
+	if len(o.MessageCounts) == 0 {
+		o.MessageCounts = []int{5, 10, 15, 20}
+	}
+	if len(o.SyntheticCounts) == 0 {
+		o.SyntheticCounts = []int{20, 40, 60, 80}
+	}
+}
+
+// RunningTime reproduces Figures 1 (scenario BER-7) and 2 (BER-9): batch
+// makespans for BBW, ACC and synthetic workloads under both schedulers, for
+// 80- and 120-slot cycles.
+func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
+	opts.fill()
+	var rows []RunningTimeRow
+
+	for _, slots := range opts.Slots {
+		// Real-world application sets (Figure 1a / 2a).
+		for _, name := range []string{"BBW", "ACC"} {
+			base := workload.BBW()
+			if name == "ACC" {
+				base = workload.ACC()
+			}
+			for _, n := range opts.MessageCounts {
+				if n > len(base.Messages) {
+					n = len(base.Messages)
+				}
+				set, err := runningTimeWorkload(base, n, slots, opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				batch, err := runningTimeBatch(set, slots, opts, name, n)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, batch...)
+			}
+		}
+		// Synthetic sets (Figure 1b / 2b).
+		for _, n := range opts.SyntheticCounts {
+			if n > slots {
+				continue // static frame IDs must fit the slot range
+			}
+			syn, err := workload.Synthetic(workload.SyntheticOptions{
+				Messages: n,
+				Seed:     opts.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			set, err := runningTimeWorkload(syn, n, slots, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := runningTimeBatch(set, slots, opts, "synthetic", n)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, batch...)
+		}
+	}
+	return rows, nil
+}
+
+// runningTimeWorkload takes the first n static messages of base and adds
+// the SAE aperiodic set with frame IDs starting just above the static slot
+// range (81 or 121, per the paper).
+func runningTimeWorkload(base signal.Set, n, slots int, seed uint64) (signal.Set, error) {
+	static := signal.Set{
+		Name:     base.Name,
+		Messages: append([]signal.Message(nil), base.Messages[:n]...),
+	}
+	saeCount := n
+	if saeCount > 30 {
+		saeCount = 30
+	}
+	sae, err := workload.SAEAperiodic(workload.SAEAperiodicOptions{
+		FirstID: slots + 1,
+		Count:   saeCount,
+		Seed:    seed,
+	})
+	if err != nil {
+		return signal.Set{}, err
+	}
+	return workload.Merge(fmt.Sprintf("%s-%d", base.Name, n), static, sae)
+}
+
+func runningTimeBatch(set signal.Set, slots int, opts RunningTimeOptions, name string, n int) ([]RunningTimeRow, error) {
+	setup, err := RunningTimeSetup(set, slots)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RunningTimeRow
+	for _, sched := range schedulers(set, opts.Scenario) {
+		injA, injB, err := injectors(opts.Scenario, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Options{
+			Config:         setup.Config,
+			Workload:       set,
+			BitRate:        setup.BitRate,
+			InjectorA:      injA,
+			InjectorB:      injB,
+			Seed:           opts.Seed,
+			Mode:           sim.Batch,
+			BatchInstances: batchInstances(opts.Quick),
+		}, sched)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%d slots: %w", name, sched.Name(), slots, err)
+		}
+		rows = append(rows, RunningTimeRow{
+			Workload:        name,
+			Slots:           slots,
+			Messages:        n,
+			Scheduler:       res.Scheduler,
+			RunningTime:     res.Report.Makespan,
+			Retransmissions: res.Report.Retransmissions,
+		})
+	}
+	return rows, nil
+}
+
+// RunningTimeTable renders the rows as an aligned text table.
+func RunningTimeTable(title string, rows []RunningTimeRow) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"workload", "slots", "messages", "scheduler", "running time", "retx"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.Slots),
+			fmt.Sprintf("%d", r.Messages),
+			r.Scheduler,
+			r.RunningTime.String(),
+			fmt.Sprintf("%d", r.Retransmissions),
+		})
+	}
+	return t
+}

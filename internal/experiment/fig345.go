@@ -1,0 +1,410 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/sim"
+	"github.com/flexray-go/coefficient/internal/workload"
+)
+
+// latencyStaticSlots is the static slot count of the 1 ms cycle used by
+// Figures 3 and 5 and the real-world rows of Figure 4 (0.75 ms static at 25
+// macroticks per slot).
+const latencyStaticSlots = 30
+
+// syntheticStaticSlots is the slot count for Figure 4's synthetic rows: the
+// paper plots static frame IDs 1..80.
+const syntheticStaticSlots = 80
+
+// latencyWorkload assembles a streaming workload: the given static set plus
+// the SAE aperiodic set with frame IDs starting just above the static slot
+// range, so the FTDMA slot counter can actually reach them (the paper's IDs
+// 81-110 sit above its 80 static slots for the same reason).
+func latencyWorkload(static signal.Set, staticSlots int, seed uint64) (signal.Set, error) {
+	sae, err := workload.SAEAperiodic(workload.SAEAperiodicOptions{
+		FirstID: staticSlots + 1,
+		Count:   30,
+		Seed:    seed,
+	})
+	if err != nil {
+		return signal.Set{}, err
+	}
+	return workload.Merge(static.Name+"+sae", static, sae)
+}
+
+// runStreaming runs one streaming simulation.
+func runStreaming(set signal.Set, setup Setup, sc Scenario, sched sim.Scheduler, seed uint64, quick bool) (sim.Result, error) {
+	injA, injB, err := injectors(sc, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sim.Options{
+		Config:    setup.Config,
+		Workload:  set,
+		BitRate:   setup.BitRate,
+		InjectorA: injA,
+		InjectorB: injB,
+		Seed:      seed,
+		Mode:      sim.Streaming,
+		Duration:  streamDuration(quick),
+	}, sched)
+}
+
+// UtilizationRow is one point of Figure 3.
+type UtilizationRow struct {
+	// Minislots is the dynamic segment size.
+	Minislots int
+	// Scheduler is the policy name.
+	Scheduler string
+	// Efficiency is useful wire time over all wire time — the paper's
+	// "ratio of the bandwidth that is actually used to the whole
+	// bandwidth" (redundant copies and faulted attempts are not "actually
+	// used").
+	Efficiency float64
+	// Useful and Raw are the utilization components over total channel
+	// capacity.
+	Useful, Raw float64
+}
+
+// UtilizationOptions configures the Figure 3 harness.
+type UtilizationOptions struct {
+	// Scenario defaults to BER7.
+	Scenario Scenario
+	// Seed drives arrivals and faults.
+	Seed uint64
+	// Quick shrinks the horizon.
+	Quick bool
+	// Minislots lists the swept dynamic segment sizes (default 25, 50,
+	// 75, 100).
+	Minislots []int
+}
+
+func (o *UtilizationOptions) fill() {
+	if o.Scenario.Label == "" {
+		o.Scenario = BER7()
+	}
+	if len(o.Minislots) == 0 {
+		o.Minislots = []int{25, 50, 75, 100}
+	}
+}
+
+// Utilization reproduces Figure 3: bandwidth utilization of both schedulers
+// as the dynamic segment grows from 25 to 100 minislots, on the BBW + SAE
+// workload.
+func Utilization(opts UtilizationOptions) ([]UtilizationRow, error) {
+	opts.fill()
+	set, err := latencyWorkload(workload.BBW(), latencyStaticSlots, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []UtilizationRow
+	for _, ms := range opts.Minislots {
+		setup, err := LatencySetup(set, latencyStaticSlots, ms)
+		if err != nil {
+			return nil, err
+		}
+		for _, sched := range schedulers(set, opts.Scenario) {
+			res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %d minislots: %w", ms, err)
+			}
+			eff := 0.0
+			if res.Report.RawUtilization > 0 {
+				eff = res.Report.BandwidthUtilization / res.Report.RawUtilization
+			}
+			rows = append(rows, UtilizationRow{
+				Minislots:  ms,
+				Scheduler:  res.Scheduler,
+				Efficiency: eff,
+				Useful:     res.Report.BandwidthUtilization,
+				Raw:        res.Report.RawUtilization,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// UtilizationTable renders Figure 3 rows.
+func UtilizationTable(rows []UtilizationRow) Table {
+	t := Table{
+		Title:  "Figure 3: bandwidth utilization vs minislots",
+		Header: []string{"minislots", "scheduler", "efficiency", "useful", "raw"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Minislots),
+			r.Scheduler,
+			fmt.Sprintf("%.3f", r.Efficiency),
+			fmt.Sprintf("%.4f", r.Useful),
+			fmt.Sprintf("%.4f", r.Raw),
+		})
+	}
+	return t
+}
+
+// LatencyRow is one point of Figure 4.
+type LatencyRow struct {
+	// Workload is "synthetic", "BBW" or "ACC".
+	Workload string
+	// Segment says whether the row covers static or dynamic messages.
+	Segment metrics.SegmentKind
+	// Minislots is the dynamic segment size (50 or 100).
+	Minislots int
+	// Scenario is the reliability setting label.
+	Scenario string
+	// Scheduler is the policy name.
+	Scheduler string
+	// Mean is the average delivery latency.
+	Mean time.Duration
+	// P99 is the tail latency.
+	P99 time.Duration
+}
+
+// LatencyOptions configures the Figure 4 harness.
+type LatencyOptions struct {
+	// Scenarios defaults to {BER7, BER9}.
+	Scenarios []Scenario
+	// Seed drives arrivals and faults.
+	Seed uint64
+	// Quick shrinks the horizon.
+	Quick bool
+	// Minislots defaults to {50, 100}.
+	Minislots []int
+	// Workloads defaults to {"synthetic", "BBW", "ACC"}.
+	Workloads []string
+	// SyntheticMessages is the synthetic static set size (default 80, the
+	// paper's frame IDs 1..80).
+	SyntheticMessages int
+}
+
+func (o *LatencyOptions) fill() {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = []Scenario{BER7(), BER9()}
+	}
+	if len(o.Minislots) == 0 {
+		o.Minislots = []int{50, 100}
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"synthetic", "BBW", "ACC"}
+	}
+	if o.SyntheticMessages <= 0 {
+		o.SyntheticMessages = syntheticStaticSlots
+	}
+}
+
+// Latency reproduces Figure 4: average transmission latency of static and
+// dynamic segments for the synthetic, BBW and ACC workloads at 50 and 100
+// minislots under both reliability settings.
+func Latency(opts LatencyOptions) ([]LatencyRow, error) {
+	opts.fill()
+	var rows []LatencyRow
+	for _, wl := range opts.Workloads {
+		staticSet, staticSlots, err := latencyStaticSet(wl, opts)
+		if err != nil {
+			return nil, err
+		}
+		set, err := latencyWorkload(staticSet, staticSlots, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, ms := range opts.Minislots {
+			setup, err := LatencySetup(set, staticSlots, ms)
+			if err != nil {
+				return nil, err
+			}
+			for _, sc := range opts.Scenarios {
+				for _, sched := range schedulers(set, sc) {
+					res, err := runStreaming(set, setup, sc, sched, opts.Seed, opts.Quick)
+					if err != nil {
+						return nil, fmt.Errorf("fig4 %s/%d/%s: %w", wl, ms, sc.Label, err)
+					}
+					for _, seg := range []metrics.SegmentKind{metrics.Static, metrics.Dynamic} {
+						rows = append(rows, LatencyRow{
+							Workload:  wl,
+							Segment:   seg,
+							Minislots: ms,
+							Scenario:  sc.Label,
+							Scheduler: res.Scheduler,
+							Mean:      res.Report.MeanLatency[seg],
+							P99:       res.Report.P99Latency[seg],
+						})
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func latencyStaticSet(wl string, opts LatencyOptions) (signal.Set, int, error) {
+	switch wl {
+	case "BBW":
+		return workload.BBW(), latencyStaticSlots, nil
+	case "ACC":
+		return workload.ACC(), latencyStaticSlots, nil
+	case "synthetic":
+		syn, err := workload.Synthetic(workload.SyntheticOptions{
+			Messages: opts.SyntheticMessages,
+			Seed:     opts.Seed + 99,
+		})
+		if err != nil {
+			return signal.Set{}, 0, err
+		}
+		return syn, syntheticStaticSlots, nil
+	default:
+		return signal.Set{}, 0, fmt.Errorf("%w: unknown workload %q", ErrSetup, wl)
+	}
+}
+
+// LatencyTable renders Figure 4 rows.
+func LatencyTable(rows []LatencyRow) Table {
+	t := Table{
+		Title:  "Figure 4: average transmission latency",
+		Header: []string{"workload", "segment", "minislots", "scenario", "scheduler", "mean", "p99"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			r.Segment.String(),
+			fmt.Sprintf("%d", r.Minislots),
+			r.Scenario,
+			r.Scheduler,
+			r.Mean.String(),
+			r.P99.String(),
+		})
+	}
+	return t
+}
+
+// MissRow is one point of Figure 5.
+type MissRow struct {
+	// Minislots is the dynamic segment size.
+	Minislots int
+	// Scenario is the reliability setting label.
+	Scenario string
+	// Scheduler is the policy name.
+	Scheduler string
+	// MissRatio is late deliveries plus drops over all instances (the
+	// mean over Replicas seeds).
+	MissRatio float64
+	// StdDev is the across-replica standard deviation (0 for a single
+	// replica).
+	StdDev float64
+	// Replicas is the number of seeds aggregated.
+	Replicas int
+}
+
+// MissOptions configures the Figure 5 harness.
+type MissOptions struct {
+	// Scenarios defaults to {BER7, BER9}.
+	Scenarios []Scenario
+	// Seed drives arrivals and faults; replicas use Seed, Seed+1, ...
+	Seed uint64
+	// Quick shrinks the horizon.
+	Quick bool
+	// Minislots defaults to {25, 50, 75, 100}.
+	Minislots []int
+	// Replicas averages each point over this many seeds (default 1).
+	Replicas int
+}
+
+func (o *MissOptions) fill() {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = []Scenario{BER7(), BER9()}
+	}
+	if len(o.Minislots) == 0 {
+		o.Minislots = []int{25, 50, 75, 100}
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+}
+
+// MissRatio reproduces Figure 5: deadline miss ratios on the BBW + SAE
+// workload across dynamic segment sizes and reliability settings.
+func MissRatio(opts MissOptions) ([]MissRow, error) {
+	opts.fill()
+	set, err := latencyWorkload(workload.BBW(), latencyStaticSlots, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MissRow
+	for _, ms := range opts.Minislots {
+		setup, err := LatencySetup(set, latencyStaticSlots, ms)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range opts.Scenarios {
+			for schedIdx := 0; schedIdx < 2; schedIdx++ {
+				var (
+					name    string
+					samples []float64
+				)
+				for r := 0; r < opts.Replicas; r++ {
+					seed := opts.Seed + uint64(r)
+					sched := schedulers(set, sc)[schedIdx]
+					res, err := runStreaming(set, setup, sc, sched, seed, opts.Quick)
+					if err != nil {
+						return nil, fmt.Errorf("fig5 %d/%s: %w", ms, sc.Label, err)
+					}
+					name = res.Scheduler
+					samples = append(samples, res.Report.OverallMissRatio())
+				}
+				mean, std := meanStd(samples)
+				rows = append(rows, MissRow{
+					Minislots: ms,
+					Scenario:  sc.Label,
+					Scheduler: name,
+					MissRatio: mean,
+					StdDev:    std,
+					Replicas:  opts.Replicas,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// meanStd returns the mean and population standard deviation.
+func meanStd(samples []float64) (float64, float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(len(samples))
+	if len(samples) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(samples)))
+}
+
+// MissTable renders Figure 5 rows.
+func MissTable(rows []MissRow) Table {
+	t := Table{
+		Title:  "Figure 5: deadline miss ratio",
+		Header: []string{"minislots", "scenario", "scheduler", "miss ratio", "stddev", "replicas"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Minislots),
+			r.Scenario,
+			r.Scheduler,
+			fmt.Sprintf("%.4f", r.MissRatio),
+			fmt.Sprintf("%.4f", r.StdDev),
+			fmt.Sprintf("%d", r.Replicas),
+		})
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FrameLatencyRow is one point of Figure 4(a)'s per-frame-ID series: the
+// mean latency of one static frame ID under one scheduler.
+type FrameLatencyRow struct {
+	// FrameID is the static frame ID (1..80 in the paper).
+	FrameID int
+	// Scheduler is the policy name.
+	Scheduler string
+	// Mean is the average delivery latency of the frame.
+	Mean time.Duration
+}
+
+// FrameLatencyOptions configures the per-frame-ID harness.
+type FrameLatencyOptions struct {
+	// Scenario defaults to BER7.
+	Scenario Scenario
+	// Seed drives arrivals and faults.
+	Seed uint64
+	// Quick shrinks the horizon.
+	Quick bool
+	// Minislots defaults to 50.
+	Minislots int
+	// Messages is the synthetic static set size (default 80, the paper's
+	// frame IDs 1..80).
+	Messages int
+}
+
+func (o *FrameLatencyOptions) fill() {
+	if o.Scenario.Label == "" {
+		o.Scenario = BER7()
+	}
+	if o.Minislots <= 0 {
+		o.Minislots = 50
+	}
+	if o.Messages <= 0 {
+		o.Messages = syntheticStaticSlots
+	}
+}
+
+// FrameLatency reproduces Figure 4(a)'s series: mean static-segment latency
+// per frame ID (1..Messages) on the synthetic workload, for both schedulers.
+func FrameLatency(opts FrameLatencyOptions) ([]FrameLatencyRow, error) {
+	opts.fill()
+	staticSet, staticSlots, err := latencyStaticSet("synthetic", LatencyOptions{
+		Seed:              opts.Seed,
+		SyntheticMessages: opts.Messages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set, err := latencyWorkload(staticSet, staticSlots, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := LatencySetup(set, staticSlots, opts.Minislots)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FrameLatencyRow
+	for _, sched := range schedulers(set, opts.Scenario) {
+		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
+		if err != nil {
+			return nil, fmt.Errorf("fig4a: %w", err)
+		}
+		for id := 1; id <= opts.Messages; id++ {
+			mean, ok := res.Report.PerFrameMean[id]
+			if !ok {
+				continue
+			}
+			rows = append(rows, FrameLatencyRow{
+				FrameID:   id,
+				Scheduler: res.Scheduler,
+				Mean:      mean,
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].FrameID != rows[j].FrameID {
+			return rows[i].FrameID < rows[j].FrameID
+		}
+		return rows[i].Scheduler < rows[j].Scheduler
+	})
+	return rows, nil
+}
+
+// FrameLatencyTable renders the per-frame series.
+func FrameLatencyTable(rows []FrameLatencyRow) Table {
+	t := Table{
+		Title:  "Figure 4(a): static latency per frame ID (synthetic)",
+		Header: []string{"frame ID", "scheduler", "mean latency"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.FrameID),
+			r.Scheduler,
+			r.Mean.String(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+)
+
+// Table is a simple aligned text table for experiment output.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the data cells; ragged rows are padded with blanks.
+	Rows [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteString(cell)
+			if i < cols-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		b.WriteString(strings.Repeat("-", w))
+		if i < cols-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrBadBER is returned for bit error rates outside [0, 1).
+	ErrBadBER = errors.New("fault: BER must be in [0, 1)")
+	// ErrBadBits is returned for non-positive frame sizes.
+	ErrBadBits = errors.New("fault: frame size must be positive")
+)
+
+// FrameFailureProb returns the probability that a frame of `bits` bits is
+// corrupted at bit error rate `ber`:
+//
+//	p = 1 − (1 − BER)^bits.
+//
+// Computed as -expm1(bits * log1p(-ber)) for numerical stability at the very
+// small BERs (1e-7, 1e-9) the paper uses.
+func FrameFailureProb(ber float64, bits int) (float64, error) {
+	if ber < 0 || ber >= 1 {
+		return 0, fmt.Errorf("%w: %g", ErrBadBER, ber)
+	}
+	if bits <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadBits, bits)
+	}
+	if ber == 0 {
+		return 0, nil
+	}
+	return -math.Expm1(float64(bits) * math.Log1p(-ber)), nil
+}
+
+// Injector decides, per transmission, whether a transient fault corrupts the
+// frame.  Implementations must be deterministic given their seed.
+type Injector interface {
+	// Corrupts reports whether a transmission of `bits` bits is corrupted.
+	Corrupts(bits int) bool
+	// Stats returns cumulative injection statistics.
+	Stats() Stats
+}
+
+// Stats summarizes an injector's history.
+type Stats struct {
+	// Transmissions is the total number of transmissions examined.
+	Transmissions int64
+	// Faults is the number of corrupted transmissions.
+	Faults int64
+}
+
+// Rate returns the observed fault rate, or 0 for an empty history.
+func (s Stats) Rate() float64 {
+	if s.Transmissions == 0 {
+		return 0
+	}
+	return float64(s.Faults) / float64(s.Transmissions)
+}
+
+// BERInjector injects independent transient faults with the paper's
+// per-frame probability 1-(1-BER)^bits.
+type BERInjector struct {
+	mu    sync.Mutex
+	ber   float64
+	rng   *RNG
+	stats Stats
+}
+
+var _ Injector = (*BERInjector)(nil)
+
+// NewBERInjector returns an injector for the given bit error rate and seed.
+func NewBERInjector(ber float64, seed uint64) (*BERInjector, error) {
+	if ber < 0 || ber >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadBER, ber)
+	}
+	return &BERInjector{ber: ber, rng: NewRNG(seed)}, nil
+}
+
+// Corrupts implements Injector.
+func (b *BERInjector) Corrupts(bits int) bool {
+	if bits <= 0 {
+		return false
+	}
+	p, err := FrameFailureProb(b.ber, bits)
+	if err != nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Transmissions++
+	hit := b.rng.Bernoulli(p)
+	if hit {
+		b.stats.Faults++
+	}
+	return hit
+}
+
+// Stats implements Injector.
+func (b *BERInjector) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// BER returns the configured bit error rate.
+func (b *BERInjector) BER() float64 { return b.ber }
+
+// GilbertElliott is a two-state burst-fault injector: in the Good state bits
+// fail at BERGood, in the Bad state at BERBad; the channel flips between
+// states with the given transition probabilities evaluated once per
+// transmission.  With PGoodToBad=0 it degenerates to a BERInjector at
+// BERGood.
+type GilbertElliott struct {
+	mu    sync.Mutex
+	cfg   GilbertElliottConfig
+	bad   bool
+	rng   *RNG
+	stats Stats
+}
+
+var _ Injector = (*GilbertElliott)(nil)
+
+// GilbertElliottConfig parameterizes the two-state model.
+type GilbertElliottConfig struct {
+	// BERGood and BERBad are the per-bit error rates in each state.
+	BERGood, BERBad float64
+	// PGoodToBad and PBadToGood are the per-transmission state transition
+	// probabilities.
+	PGoodToBad, PBadToGood float64
+}
+
+// NewGilbertElliott returns a burst injector with the given configuration and
+// seed.
+func NewGilbertElliott(cfg GilbertElliottConfig, seed uint64) (*GilbertElliott, error) {
+	for _, ber := range []float64{cfg.BERGood, cfg.BERBad} {
+		if ber < 0 || ber >= 1 {
+			return nil, fmt.Errorf("%w: %g", ErrBadBER, ber)
+		}
+	}
+	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("fault: transition probability %g outside [0,1]", p)
+		}
+	}
+	return &GilbertElliott{cfg: cfg, rng: NewRNG(seed)}, nil
+}
+
+// Corrupts implements Injector.
+func (g *GilbertElliott) Corrupts(bits int) bool {
+	if bits <= 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// State transition first, then draw with the new state's BER.
+	if g.bad {
+		if g.rng.Bernoulli(g.cfg.PBadToGood) {
+			g.bad = false
+		}
+	} else if g.rng.Bernoulli(g.cfg.PGoodToBad) {
+		g.bad = true
+	}
+	ber := g.cfg.BERGood
+	if g.bad {
+		ber = g.cfg.BERBad
+	}
+	p, err := FrameFailureProb(ber, bits)
+	if err != nil {
+		return false
+	}
+	g.stats.Transmissions++
+	hit := g.rng.Bernoulli(p)
+	if hit {
+		g.stats.Faults++
+	}
+	return hit
+}
+
+// Stats implements Injector.
+func (g *GilbertElliott) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// InBadState reports whether the channel is currently in the Bad state.
+func (g *GilbertElliott) InBadState() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bad
+}
+
+// None is an injector that never corrupts anything (a fault-free bus).
+type None struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ Injector = (*None)(nil)
+
+// Corrupts implements Injector.
+func (n *None) Corrupts(bits int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Transmissions++
+	return false
+}
+
+// Stats implements Injector.
+func (n *None) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

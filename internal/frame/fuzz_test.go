@@ -1,0 +1,35 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes into the frame decoder: it must never
+// panic, and anything it accepts must re-encode to the identical prefix.
+func FuzzDecode(f *testing.F) {
+	valid, err := testFrame().Encode(ChannelA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Add(bytes.Repeat([]byte{0x00}, 8))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, ch := range []Channel{ChannelA, ChannelB} {
+			fr, err := Decode(raw, ch)
+			if err != nil {
+				continue
+			}
+			buf, err := fr.Encode(ch)
+			if err != nil {
+				continue // zero frame ID decodes but refuses to encode
+			}
+			if len(buf) > len(raw) || !bytes.Equal(buf, raw[:len(buf)]) {
+				t.Fatalf("accepted frame does not round-trip: % x", raw)
+			}
+		}
+	})
+}

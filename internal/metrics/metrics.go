@@ -1,0 +1,306 @@
+// Package metrics accumulates the four quantities the paper's evaluation
+// reports: overall running time (makespan), bandwidth utilization, average
+// transmission latency per segment kind, and deadline miss ratio.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Series accumulates scalar samples and answers summary statistics.
+type Series struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// N returns the number of samples.
+func (s *Series) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank, or
+// 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.samples) == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.samples[rank-1]
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func (s *Series) StdDev() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// SegmentKind distinguishes static- and dynamic-segment traffic in reports.
+type SegmentKind int
+
+// Traffic classes reported separately by the paper.
+const (
+	// Static covers periodic messages carried in the static segment.
+	Static SegmentKind = iota + 1
+	// Dynamic covers aperiodic messages carried in the dynamic segment.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (k SegmentKind) String() string {
+	if k == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Collector accumulates a full simulation's worth of measurements.
+type Collector struct {
+	cfg timebase.Config
+
+	// latency holds per-kind delivery latencies in macroticks.
+	latency map[SegmentKind]*Series
+	// perFrame holds per-frame-ID delivery latencies in macroticks
+	// (Figure 4a plots latency against frame ID).
+	perFrame map[int]*Series
+	// delivered/missed/dropped instances per kind.
+	delivered map[SegmentKind]int64
+	missed    map[SegmentKind]int64
+	dropped   map[SegmentKind]int64
+	// busyMT accumulates useful channel-busy macroticks: wire time of the
+	// transmissions that first delivered an instance.  Redundant copies,
+	// faulted attempts and surplus retransmissions do not count — this is
+	// the paper's "bandwidth actually used".
+	busyMT timebase.Macrotick
+	// rawBusyMT accumulates all wire time, useful or not.
+	rawBusyMT timebase.Macrotick
+	// channelMT accumulates total channel macroticks observed.
+	channelMT timebase.Macrotick
+	// payloadBits accumulates delivered unique payload bits.
+	payloadBits int64
+	// retransmissions counts retransmission attempts put on the wire.
+	retransmissions int64
+	// faults counts corrupted transmissions.
+	faults int64
+	// makespan is the completion time of the last delivered instance.
+	makespan timebase.Macrotick
+}
+
+// NewCollector returns a collector for simulations under cfg.
+func NewCollector(cfg timebase.Config) *Collector {
+	return &Collector{
+		cfg: cfg,
+		latency: map[SegmentKind]*Series{
+			Static:  {},
+			Dynamic: {},
+		},
+		perFrame:  make(map[int]*Series),
+		delivered: make(map[SegmentKind]int64),
+		missed:    make(map[SegmentKind]int64),
+		dropped:   make(map[SegmentKind]int64),
+	}
+}
+
+// Delivered records a successful delivery: release-to-completion latency and
+// whether the deadline was met.
+func (c *Collector) Delivered(kind SegmentKind, release, completion, deadline timebase.Macrotick) {
+	c.DeliveredFrame(kind, 0, release, completion, deadline)
+}
+
+// DeliveredFrame is Delivered with per-frame-ID latency attribution
+// (frameID 0 skips the per-frame series).
+func (c *Collector) DeliveredFrame(kind SegmentKind, frameID int, release, completion, deadline timebase.Macrotick) {
+	c.latency[kind].Add(float64(completion - release))
+	if frameID > 0 {
+		s, ok := c.perFrame[frameID]
+		if !ok {
+			s = &Series{}
+			c.perFrame[frameID] = s
+		}
+		s.Add(float64(completion - release))
+	}
+	c.delivered[kind]++
+	if completion > deadline {
+		c.missed[kind]++
+	}
+	if completion > c.makespan {
+		c.makespan = completion
+	}
+}
+
+// Dropped records an instance abandoned without delivery (counted as a
+// deadline miss).
+func (c *Collector) Dropped(kind SegmentKind) {
+	c.dropped[kind]++
+	c.missed[kind]++
+}
+
+// BusBusy adds useful channel-busy time (first-delivery transmissions).
+func (c *Collector) BusBusy(mt timebase.Macrotick) { c.busyMT += mt }
+
+// PayloadDelivered adds a delivered instance's unique payload bits.
+func (c *Collector) PayloadDelivered(bits int) { c.payloadBits += int64(bits) }
+
+// RawBusy adds wire time regardless of usefulness (faulted attempts,
+// redundant copies, retransmissions).
+func (c *Collector) RawBusy(mt timebase.Macrotick) { c.rawBusyMT += mt }
+
+// ChannelTime adds observed channel time (per channel: one cycle simulated
+// on two channels adds two cycle lengths).
+func (c *Collector) ChannelTime(mt timebase.Macrotick) { c.channelMT += mt }
+
+// Retransmission counts one retransmission attempt on the wire.
+func (c *Collector) Retransmission() { c.retransmissions++ }
+
+// Fault counts one corrupted transmission.
+func (c *Collector) Fault() { c.faults++ }
+
+// Report is an immutable summary of a simulation run.
+type Report struct {
+	// Makespan is the completion time of the last delivered instance.
+	Makespan time.Duration
+	// BandwidthUtilization is useful busy channel time over total channel
+	// time, in [0, 1] — the paper's "ratio of the bandwidth that is
+	// actually used to the whole bandwidth".
+	BandwidthUtilization float64
+	// RawUtilization is all wire time over total channel time; it exceeds
+	// BandwidthUtilization by the cost of faults, redundancy and
+	// retransmissions.
+	RawUtilization float64
+	// GoodputBps is the delivered unique payload rate in bits per second
+	// of simulated time (0 when no channel time was observed).
+	GoodputBps float64
+	// MeanLatency maps segment kind to the mean delivery latency.
+	MeanLatency map[SegmentKind]time.Duration
+	// P99Latency maps segment kind to the 99th-percentile latency.
+	P99Latency map[SegmentKind]time.Duration
+	// MaxLatency maps segment kind to the maximum latency.
+	MaxLatency map[SegmentKind]time.Duration
+	// DeadlineMissRatio maps segment kind to misses (late deliveries plus
+	// drops) over all completed-or-dropped instances.
+	DeadlineMissRatio map[SegmentKind]float64
+	// PerFrameMean maps frame IDs to mean delivery latency (only frames
+	// recorded with DeliveredFrame appear).
+	PerFrameMean map[int]time.Duration
+	// Delivered, Dropped count instances per kind.
+	Delivered, Dropped map[SegmentKind]int64
+	// Retransmissions is the number of retransmission attempts.
+	Retransmissions int64
+	// Faults is the number of corrupted transmissions.
+	Faults int64
+}
+
+// Report summarizes the collected measurements.
+func (c *Collector) Report() Report {
+	r := Report{
+		Makespan:          c.cfg.ToDuration(c.makespan),
+		PerFrameMean:      make(map[int]time.Duration, len(c.perFrame)),
+		MeanLatency:       make(map[SegmentKind]time.Duration, 2),
+		P99Latency:        make(map[SegmentKind]time.Duration, 2),
+		MaxLatency:        make(map[SegmentKind]time.Duration, 2),
+		DeadlineMissRatio: make(map[SegmentKind]float64, 2),
+		Delivered:         make(map[SegmentKind]int64, 2),
+		Dropped:           make(map[SegmentKind]int64, 2),
+		Retransmissions:   c.retransmissions,
+		Faults:            c.faults,
+	}
+	if c.channelMT > 0 {
+		r.BandwidthUtilization = float64(c.busyMT) / float64(c.channelMT)
+		r.RawUtilization = float64(c.rawBusyMT) / float64(c.channelMT)
+		// channelMT counts both channels; simulated time is half of it.
+		simSeconds := float64(c.cfg.ToDuration(c.channelMT/2)) / float64(time.Second)
+		if simSeconds > 0 {
+			r.GoodputBps = float64(c.payloadBits) / simSeconds
+		}
+	}
+	for id, s := range c.perFrame {
+		r.PerFrameMean[id] = c.cfg.ToDuration(timebase.Macrotick(s.Mean()))
+	}
+	for _, kind := range []SegmentKind{Static, Dynamic} {
+		s := c.latency[kind]
+		r.MeanLatency[kind] = c.cfg.ToDuration(timebase.Macrotick(s.Mean()))
+		r.P99Latency[kind] = c.cfg.ToDuration(timebase.Macrotick(s.Percentile(99)))
+		r.MaxLatency[kind] = c.cfg.ToDuration(timebase.Macrotick(s.Max()))
+		r.Delivered[kind] = c.delivered[kind]
+		r.Dropped[kind] = c.dropped[kind]
+		total := c.delivered[kind] + c.dropped[kind]
+		if total > 0 {
+			r.DeadlineMissRatio[kind] = float64(c.missed[kind]) / float64(total)
+		}
+	}
+	return r
+}
+
+// OverallMissRatio returns the miss ratio across both kinds.
+func (r Report) OverallMissRatio() float64 {
+	var missedWeighted float64
+	var total int64
+	for _, kind := range []SegmentKind{Static, Dynamic} {
+		n := r.Delivered[kind] + r.Dropped[kind]
+		missedWeighted += r.DeadlineMissRatio[kind] * float64(n)
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return missedWeighted / float64(total)
+}

@@ -1,0 +1,112 @@
+// Package nm implements FlexRay network management vectors: short bit
+// vectors carried at the front of static payloads (flagged by the payload
+// preamble indicator) that nodes OR together each cycle to agree on
+// cluster-wide state — classically, which ECUs still demand the network to
+// stay awake before the cluster may transition to sleep.
+package nm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxVectorBytes is the specification limit for the NM vector length
+// (gNetworkManagementVectorLength ≤ 12).
+const MaxVectorBytes = 12
+
+// Errors returned by the package.
+var (
+	// ErrLength is returned for invalid or mismatched vector lengths.
+	ErrLength = errors.New("nm: invalid vector length")
+)
+
+// Vector is one node's network management vector.
+type Vector []byte
+
+// NewVector returns a zeroed vector of n bytes.
+func NewVector(n int) (Vector, error) {
+	if n < 1 || n > MaxVectorBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrLength, n)
+	}
+	return make(Vector, n), nil
+}
+
+// SetBit sets bit i (0-based, LSB-first within each byte).
+func (v Vector) SetBit(i int) error {
+	if i < 0 || i >= len(v)*8 {
+		return fmt.Errorf("%w: bit %d of %d", ErrLength, i, len(v)*8)
+	}
+	v[i/8] |= 1 << uint(i%8)
+	return nil
+}
+
+// Bit reports bit i.
+func (v Vector) Bit(i int) bool {
+	if i < 0 || i >= len(v)*8 {
+		return false
+	}
+	return v[i/8]&(1<<uint(i%8)) != 0
+}
+
+// Zero reports whether no bit is set — the cluster-wide "ready to sleep"
+// condition when true of the aggregated vector.
+func (v Vector) Zero() bool {
+	for _, b := range v {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Aggregator accumulates the vectors observed during one communication
+// cycle, as every CC does: the cluster state is the bitwise OR of all
+// received NM vectors.
+type Aggregator struct {
+	length int
+	acc    Vector
+	seen   int
+}
+
+// NewAggregator returns an aggregator for n-byte vectors.
+func NewAggregator(n int) (*Aggregator, error) {
+	v, err := NewVector(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{length: n, acc: v}, nil
+}
+
+// Observe ORs a received vector into the accumulator.
+func (a *Aggregator) Observe(v Vector) error {
+	if len(v) != a.length {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrLength, len(v), a.length)
+	}
+	for i := range a.acc {
+		a.acc[i] |= v[i]
+	}
+	a.seen++
+	return nil
+}
+
+// Result returns a copy of the aggregated vector and how many vectors were
+// observed.
+func (a *Aggregator) Result() (Vector, int) {
+	out := make(Vector, a.length)
+	copy(out, a.acc)
+	return out, a.seen
+}
+
+// Reset clears the accumulator for the next cycle.
+func (a *Aggregator) Reset() {
+	for i := range a.acc {
+		a.acc[i] = 0
+	}
+	a.seen = 0
+}
+
+// ReadyToSleep reports whether, after a full cycle's observations, no node
+// demanded the network awake.
+func (a *Aggregator) ReadyToSleep() bool {
+	return a.seen > 0 && a.acc.Zero()
+}

@@ -1,0 +1,134 @@
+package nm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVectorBounds(t *testing.T) {
+	if _, err := NewVector(0); !errors.Is(err, ErrLength) {
+		t.Errorf("NewVector(0) = %v", err)
+	}
+	if _, err := NewVector(MaxVectorBytes + 1); !errors.Is(err, ErrLength) {
+		t.Errorf("NewVector(13) = %v", err)
+	}
+	v, err := NewVector(2)
+	if err != nil || len(v) != 2 {
+		t.Fatalf("NewVector(2) = %v, %v", v, err)
+	}
+	if !v.Zero() {
+		t.Error("fresh vector not zero")
+	}
+}
+
+func TestSetAndReadBits(t *testing.T) {
+	v, err := NewVector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 7, 8, 15} {
+		if err := v.SetBit(i); err != nil {
+			t.Fatalf("SetBit(%d): %v", i, err)
+		}
+		if !v.Bit(i) {
+			t.Errorf("Bit(%d) = false after set", i)
+		}
+	}
+	if v.Bit(3) {
+		t.Error("unset bit reads true")
+	}
+	if err := v.SetBit(16); !errors.Is(err, ErrLength) {
+		t.Errorf("SetBit(16) = %v", err)
+	}
+	if v.Bit(-1) || v.Bit(99) {
+		t.Error("out-of-range Bit() returned true")
+	}
+	if v.Zero() {
+		t.Error("Zero() with bits set")
+	}
+}
+
+func TestAggregatorORs(t *testing.T) {
+	a, err := NewAggregator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := NewVector(2)
+	_ = v1.SetBit(1)
+	v2, _ := NewVector(2)
+	_ = v2.SetBit(9)
+	if err := a.Observe(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(v2); err != nil {
+		t.Fatal(err)
+	}
+	got, n := a.Result()
+	if n != 2 {
+		t.Errorf("seen = %d", n)
+	}
+	if !got.Bit(1) || !got.Bit(9) || got.Bit(2) {
+		t.Errorf("aggregate = %08b", got)
+	}
+	if a.ReadyToSleep() {
+		t.Error("ReadyToSleep with awake bits set")
+	}
+	// Result returns a copy.
+	got[0] = 0xFF
+	again, _ := a.Result()
+	if again[0] == 0xFF {
+		t.Error("Result exposed internal state")
+	}
+
+	a.Reset()
+	if _, n := a.Result(); n != 0 {
+		t.Error("Reset did not clear the observation count")
+	}
+	zero, _ := NewVector(2)
+	if err := a.Observe(zero); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ReadyToSleep() {
+		t.Error("all-zero cycle not ready to sleep")
+	}
+}
+
+func TestAggregatorLengthMismatch(t *testing.T) {
+	a, err := NewAggregator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVector(3)
+	if err := a.Observe(v); !errors.Is(err, ErrLength) {
+		t.Errorf("mismatched observe = %v", err)
+	}
+	if a.ReadyToSleep() {
+		t.Error("ReadyToSleep with zero observations")
+	}
+}
+
+// Property: aggregation is the bitwise OR — every bit set in any observed
+// vector is set in the result, and no others.
+func TestAggregateIsUnionProperty(t *testing.T) {
+	f := func(vecs [][2]byte) bool {
+		a, err := NewAggregator(2)
+		if err != nil {
+			return false
+		}
+		var want [2]byte
+		for _, raw := range vecs {
+			v := Vector(raw[:])
+			if err := a.Observe(v); err != nil {
+				return false
+			}
+			want[0] |= raw[0]
+			want[1] |= raw[1]
+		}
+		got, n := a.Result()
+		return n == len(vecs) && got[0] == want[0] && got[1] == want[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

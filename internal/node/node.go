@@ -1,0 +1,393 @@
+// Package node models one FlexRay ECU: the host that produces message
+// instances, the communication controller (CC) with its per-channel slot
+// counters, and the controller–host interface (CHI) buffers between them —
+// static send buffers keyed by frame ID and priority queues for dynamic
+// messages (paper Section II-B).
+package node
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Errors returned by ECU operations.
+var (
+	// ErrForeignMessage is returned when enqueueing an instance whose
+	// message belongs to a different node.
+	ErrForeignMessage = errors.New("node: message belongs to another node")
+	// ErrUnknownFrame is returned for operations on frame IDs the node
+	// does not own.
+	ErrUnknownFrame = errors.New("node: unknown frame ID")
+	// ErrBufferFull is returned when a CHI buffer has reached its
+	// configured capacity.
+	ErrBufferFull = errors.New("node: CHI buffer full")
+)
+
+// NoDeadline marks batch-mode instances that are never dropped for
+// lateness.
+const NoDeadline = timebase.Macrotick(1<<62 - 1)
+
+// Instance is one job of a message: a concrete frame to transmit.
+type Instance struct {
+	// Msg is the message this instance belongs to.
+	Msg *signal.Message
+	// Seq numbers the instance within its message (1-based).
+	Seq int64
+	// Release is the absolute time the instance became ready.
+	Release timebase.Macrotick
+	// Deadline is the absolute deadline (NoDeadline in batch mode).
+	Deadline timebase.Macrotick
+	// Attempts counts transmissions tried so far (including faults).
+	Attempts int
+	// Done marks successful delivery.
+	Done bool
+	// Completion is the delivery time when Done.
+	Completion timebase.Macrotick
+}
+
+// Expired reports whether the instance's deadline has passed at time t
+// without delivery.
+func (in *Instance) Expired(t timebase.Macrotick) bool {
+	return !in.Done && in.Deadline != NoDeadline && t > in.Deadline
+}
+
+// ECU is one node: CHI buffers plus CC slot counters.
+type ECU struct {
+	// ID is the cluster node ID.
+	ID int
+	// staticBufs maps owned static frame IDs to FIFO instance queues.
+	staticBufs map[int][]*Instance
+	// staticIDs lists owned static frame IDs in ascending order.
+	staticIDs []int
+	// dynQueue is the priority queue of pending dynamic instances.
+	dynQueue dynHeap
+	// slotCounter is the CC's per-channel dynamic slot counter
+	// (vSlotCounter(A) and vSlotCounter(B)).
+	slotCounter map[frame.Channel]int
+	// staticCap bounds each static buffer; dynCap bounds the dynamic
+	// queue.  Zero means unlimited — real CHIs have finite memory, and a
+	// full buffer loses the newest instance.
+	staticCap, dynCap int
+}
+
+// NewECU returns an ECU owning the static frame IDs assigned to it.
+func NewECU(id int, staticFrameIDs []int) *ECU {
+	e := &ECU{
+		ID:         id,
+		staticBufs: make(map[int][]*Instance, len(staticFrameIDs)),
+		slotCounter: map[frame.Channel]int{
+			frame.ChannelA: 1,
+			frame.ChannelB: 1,
+		},
+	}
+	for _, fid := range staticFrameIDs {
+		e.staticBufs[fid] = nil
+		e.staticIDs = append(e.staticIDs, fid)
+	}
+	return e
+}
+
+// SetCapacities bounds the CHI buffers: at most staticCap pending
+// instances per static frame ID and dynCap in the dynamic priority queue
+// (zero keeps a bound unlimited).
+func (e *ECU) SetCapacities(staticCap, dynCap int) {
+	e.staticCap = staticCap
+	e.dynCap = dynCap
+}
+
+// ResetSlotCounters sets both channels' slot counters back to 1, as the CC
+// does at the start of each communication cycle.
+func (e *ECU) ResetSlotCounters() {
+	e.slotCounter[frame.ChannelA] = 1
+	e.slotCounter[frame.ChannelB] = 1
+}
+
+// SlotCounter returns the CC slot counter for ch.
+func (e *ECU) SlotCounter(ch frame.Channel) int { return e.slotCounter[ch] }
+
+// AdvanceSlotCounter increments the slot counter for ch and returns the new
+// value.
+func (e *ECU) AdvanceSlotCounter(ch frame.Channel) int {
+	e.slotCounter[ch]++
+	return e.slotCounter[ch]
+}
+
+// EnqueueStatic appends an instance to the static buffer of its frame ID.
+func (e *ECU) EnqueueStatic(in *Instance) error {
+	if in.Msg.Node != e.ID {
+		return fmt.Errorf("%w: message %q is node %d, ECU is %d",
+			ErrForeignMessage, in.Msg.Name, in.Msg.Node, e.ID)
+	}
+	buf, ok := e.staticBufs[in.Msg.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d on node %d", ErrUnknownFrame, in.Msg.ID, e.ID)
+	}
+	if e.staticCap > 0 && len(buf) >= e.staticCap {
+		return fmt.Errorf("%w: static buffer %d at %d", ErrBufferFull, in.Msg.ID, e.staticCap)
+	}
+	e.staticBufs[in.Msg.ID] = append(buf, in)
+	return nil
+}
+
+// PeekStatic returns the oldest pending instance for the frame ID that was
+// released by time t, without removing it.  Expired instances at the head
+// are returned too — the caller decides whether to drop them.
+func (e *ECU) PeekStatic(frameID int, t timebase.Macrotick) *Instance {
+	buf := e.staticBufs[frameID]
+	for _, in := range buf {
+		if in.Done {
+			continue
+		}
+		if in.Release > t {
+			return nil
+		}
+		return in
+	}
+	return nil
+}
+
+// PeekStaticBlind returns the oldest instance for the frame ID released by
+// time t whose attempt count is below maxAttempts, including instances
+// already delivered — the view of a protocol without acknowledgements that
+// blindly transmits a fixed number of redundant copies.
+func (e *ECU) PeekStaticBlind(frameID int, t timebase.Macrotick, maxAttempts int) *Instance {
+	for _, in := range e.staticBufs[frameID] {
+		if in.Release > t {
+			return nil
+		}
+		if in.Attempts < maxAttempts {
+			return in
+		}
+	}
+	return nil
+}
+
+// PeekDynamicForBlind is PeekStaticBlind's counterpart for the dynamic
+// priority queue.
+func (e *ECU) PeekDynamicForBlind(frameID int, t timebase.Macrotick, maxAttempts int) *Instance {
+	best := -1
+	for i, in := range e.dynQueue {
+		if in.Msg.ID != frameID || in.Release > t || in.Attempts >= maxAttempts {
+			continue
+		}
+		if best == -1 || e.dynQueue.less(i, best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return e.dynQueue[best]
+}
+
+// PopStatic removes and returns the oldest pending instance for the frame
+// ID released by time t.
+func (e *ECU) PopStatic(frameID int, t timebase.Macrotick) *Instance {
+	buf := e.staticBufs[frameID]
+	for i, in := range buf {
+		if in.Done {
+			continue
+		}
+		if in.Release > t {
+			return nil
+		}
+		e.staticBufs[frameID] = append(buf[:i:i], buf[i+1:]...)
+		return in
+	}
+	return nil
+}
+
+// RemoveStatic deletes the exact instance from its static buffer and
+// reports whether it was present.
+func (e *ECU) RemoveStatic(target *Instance) bool {
+	buf, ok := e.staticBufs[target.Msg.ID]
+	if !ok {
+		return false
+	}
+	for i, in := range buf {
+		if in == target {
+			e.staticBufs[target.Msg.ID] = append(buf[:i:i], buf[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RequeueStatic puts an instance back at the head of its buffer (after a
+// failed transmission that still has retransmission budget).
+func (e *ECU) RequeueStatic(in *Instance) error {
+	buf, ok := e.staticBufs[in.Msg.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d on node %d", ErrUnknownFrame, in.Msg.ID, e.ID)
+	}
+	e.staticBufs[in.Msg.ID] = append([]*Instance{in}, buf...)
+	return nil
+}
+
+// StaticBacklog returns the number of pending static instances across all
+// owned frame IDs at time t.
+func (e *ECU) StaticBacklog(t timebase.Macrotick) int {
+	n := 0
+	for _, buf := range e.staticBufs {
+		for _, in := range buf {
+			if !in.Done && in.Release <= t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DropExpiredStatic removes expired instances from all static buffers and
+// returns them.
+func (e *ECU) DropExpiredStatic(t timebase.Macrotick) []*Instance {
+	var dropped []*Instance
+	for fid, buf := range e.staticBufs {
+		keep := buf[:0]
+		for _, in := range buf {
+			if in.Expired(t) {
+				dropped = append(dropped, in)
+			} else {
+				keep = append(keep, in)
+			}
+		}
+		e.staticBufs[fid] = keep
+	}
+	return dropped
+}
+
+// EnqueueDynamic inserts a dynamic instance into the priority queue.
+func (e *ECU) EnqueueDynamic(in *Instance) error {
+	if in.Msg.Node != e.ID {
+		return fmt.Errorf("%w: message %q is node %d, ECU is %d",
+			ErrForeignMessage, in.Msg.Name, in.Msg.Node, e.ID)
+	}
+	if e.dynCap > 0 && e.dynQueue.Len() >= e.dynCap {
+		return fmt.Errorf("%w: dynamic queue at %d", ErrBufferFull, e.dynCap)
+	}
+	heap.Push(&e.dynQueue, in)
+	return nil
+}
+
+// PeekDynamicFor returns the highest-priority pending dynamic instance with
+// the given frame ID released by t, or nil.  FlexRay transmits the head of
+// the priority queue for the slot's frame ID.
+func (e *ECU) PeekDynamicFor(frameID int, t timebase.Macrotick) *Instance {
+	best := -1
+	for i, in := range e.dynQueue {
+		if in.Done || in.Msg.ID != frameID || in.Release > t {
+			continue
+		}
+		if best == -1 || e.dynQueue.less(i, best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return e.dynQueue[best]
+}
+
+// PeekDynamicAny returns the highest-priority pending dynamic instance
+// released by t regardless of frame ID (used by slack stealing, which is
+// not bound to the FTDMA slot counter), or nil.
+func (e *ECU) PeekDynamicAny(t timebase.Macrotick) *Instance {
+	best := -1
+	for i, in := range e.dynQueue {
+		if in.Done || in.Release > t {
+			continue
+		}
+		if best == -1 || e.dynQueue.less(i, best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return e.dynQueue[best]
+}
+
+// RemoveDynamic deletes the instance from the priority queue.
+func (e *ECU) RemoveDynamic(target *Instance) bool {
+	for i, in := range e.dynQueue {
+		if in == target {
+			heap.Remove(&e.dynQueue, i)
+			return true
+		}
+	}
+	return false
+}
+
+// DynamicBacklog returns the number of pending dynamic instances at t.
+func (e *ECU) DynamicBacklog(t timebase.Macrotick) int {
+	n := 0
+	for _, in := range e.dynQueue {
+		if !in.Done && in.Release <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// DropExpiredDynamic removes expired instances from the dynamic queue and
+// returns them.
+func (e *ECU) DropExpiredDynamic(t timebase.Macrotick) []*Instance {
+	var dropped []*Instance
+	for i := 0; i < len(e.dynQueue); {
+		if e.dynQueue[i].Expired(t) {
+			dropped = append(dropped, e.dynQueue[i])
+			heap.Remove(&e.dynQueue, i)
+			continue
+		}
+		i++
+	}
+	return dropped
+}
+
+// StaticFrameIDs returns the owned static frame IDs.
+func (e *ECU) StaticFrameIDs() []int {
+	return append([]int(nil), e.staticIDs...)
+}
+
+// dynHeap orders instances by (priority, release, seq).
+type dynHeap []*Instance
+
+func (h dynHeap) Len() int { return len(h) }
+
+func (h dynHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Msg.Priority != b.Msg.Priority {
+		return a.Msg.Priority < b.Msg.Priority
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.Msg.ID != b.Msg.ID {
+		return a.Msg.ID < b.Msg.ID
+	}
+	return a.Seq < b.Seq
+}
+
+func (h dynHeap) Less(i, j int) bool { return h.less(i, j) }
+func (h dynHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *dynHeap) Push(x any) {
+	in, ok := x.(*Instance)
+	if !ok {
+		return
+	}
+	*h = append(*h, in)
+}
+
+func (h *dynHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,174 @@
+// Package plot renders simple line charts as SVG using only the standard
+// library, so the experiment harness can regenerate the paper's figures as
+// images, not just tables.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrEmpty is returned when a chart has no drawable data.
+var ErrEmpty = errors.New("plot: no data")
+
+// Series is one polyline.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data points (equal lengths).
+	X, Y []float64
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	// Title, XLabel and YLabel annotate the axes.
+	Title, XLabel, YLabel string
+	// Series holds the polylines.
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels (0 → 640×400).
+	Width, Height int
+}
+
+// palette holds the series colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// margins of the plotting area.
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 50
+)
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if c.Width <= 0 {
+		c.Width = 640
+	}
+	if c.Height <= 0 {
+		c.Height = 400
+	}
+	minX, maxX, minY, maxY := math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return ErrEmpty
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	// Include zero on the y axis when it is close, for honest scales.
+	if minY > 0 && minY < 0.5*maxY {
+		minY = 0
+	}
+
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+	px := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 {
+		return float64(c.Height-marginBottom) - (y-minY)/(maxY-minY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		c.Width, c.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.Width, c.Height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n",
+			c.Width/2, escape(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, c.Height-marginBottom, c.Width-marginRight, c.Height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, c.Height-marginBottom)
+
+	// Ticks and grid: five divisions per axis.
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		xp, ypx := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			xp, marginTop, xp, c.Height-marginBottom)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, ypx, c.Width-marginRight, ypx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			xp, c.Height-marginBottom+18, formatTick(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, ypx+4, formatTick(fy))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+int(plotW/2), c.Height-10, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginTop+int(plotH/2), marginTop+int(plotH/2), escape(c.YLabel))
+	}
+
+	// Series polylines and markers.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := marginTop + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			c.Width-marginRight-130, ly, c.Width-marginRight-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			c.Width-marginRight-104, ly+4, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// escape sanitizes text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "demo & test",
+		XLabel: "minislots",
+		YLabel: "utilization",
+		Series: []Series{
+			{Name: "CoEfficient", X: []float64{25, 50, 75, 100}, Y: []float64{0.5, 0.5, 0.5, 0.5}},
+			{Name: "FSPEC", X: []float64{25, 50, 75, 100}, Y: []float64{0.25, 0.25, 0.25, 0.25}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "CoEfficient", "FSPEC",
+		"minislots", "utilization", "demo &amp; test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Chart{Title: "empty"}
+	if err := empty.WriteSVG(&buf); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty chart = %v, want ErrEmpty", err)
+	}
+	ragged := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := ragged.WriteSVG(&buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Single point: both ranges degenerate; must still render.
+	c := &Chart{Series: []Series{{Name: "dot", X: []float64{5}, Y: []float64{7}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.Contains(buf.String(), "circle") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{2_500_000, "2.5M"},
+		{1500, "1.5k"},
+		{42, "42"},
+		{0.505, "0.505"},
+		{0, "0"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.v); got != tt.want {
+			t.Errorf("formatTick(%g) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package reliability_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/reliability"
+)
+
+// Example plans differentiated retransmissions for two messages and
+// verifies the plan with Theorem 1.
+func Example() {
+	msgs := []reliability.Message{
+		{Name: "fragile", Bits: 2000, Period: time.Millisecond},
+		{Name: "robust", Bits: 64, Period: 100 * time.Millisecond},
+	}
+	plan, err := reliability.PlanDifferentiated(msgs, 1e-5, time.Second, 0.9999, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := reliability.SuccessProbability(msgs, 1e-5, time.Second, plan.Retransmissions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k = %v, goal met: %t\n", plan.Retransmissions, p >= 0.9999)
+	// Output:
+	// k = [4 1], goal met: true
+}

@@ -1,0 +1,59 @@
+package reliability
+
+import (
+	"fmt"
+	"time"
+)
+
+// SIL is an IEC 61508 safety integrity level.  The standard specifies, per
+// level, the tolerable probability of a dangerous failure per hour of
+// operation (PFH, for high-demand / continuous mode systems such as
+// brake-by-wire).  The paper derives its reliability goal from this
+// standard: given the maximum failure probability γ over a time unit u, the
+// goal is ρ = 1 − γ.
+type SIL int
+
+// IEC 61508 safety integrity levels.
+const (
+	SIL1 SIL = iota + 1
+	SIL2
+	SIL3
+	SIL4
+)
+
+// String implements fmt.Stringer.
+func (s SIL) String() string {
+	if s < SIL1 || s > SIL4 {
+		return fmt.Sprintf("SIL(%d)", int(s))
+	}
+	return fmt.Sprintf("SIL%d", int(s))
+}
+
+// MaxFailuresPerHour returns the upper bound of the tolerable dangerous
+// failure rate per hour for the level (IEC 61508-1, table 3, continuous
+// mode).
+func (s SIL) MaxFailuresPerHour() float64 {
+	switch s {
+	case SIL1:
+		return 1e-5
+	case SIL2:
+		return 1e-6
+	case SIL3:
+		return 1e-7
+	case SIL4:
+		return 1e-8
+	default:
+		return 1
+	}
+}
+
+// Goal converts the level into a reliability goal ρ = 1 − γ over the time
+// unit u: the tolerable failure probability per hour is scaled linearly to
+// u (valid for the small rates the standard specifies).
+func (s SIL) Goal(u time.Duration) float64 {
+	gamma := s.MaxFailuresPerHour() * float64(u) / float64(time.Hour)
+	if gamma >= 1 {
+		return 0
+	}
+	return 1 - gamma
+}

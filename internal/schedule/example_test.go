@@ -1,0 +1,26 @@
+package schedule_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flexray-go/coefficient/internal/schedule"
+	"github.com/flexray-go/coefficient/internal/timebase"
+	"github.com/flexray-go/coefficient/internal/workload"
+)
+
+// Example synthesizes a slot-multiplexed schedule for the paper's BBW set.
+func Example() {
+	cfg := timebase.LatencyConfig(50)
+	syn, err := schedule.Synthesize(workload.BBW(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := schedule.MinCycleLoad(workload.BBW(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("20 messages in %d slots (lower bound %d)\n", syn.SlotsUsed, bound)
+	// Output:
+	// 20 messages in 11 slots (lower bound 11)
+}

@@ -1,0 +1,217 @@
+// Package schedule builds and validates FlexRay static schedule tables —
+// the per-node data structure the paper's Section II-B describes
+// ("maintain a timing based sequence, i.e., the number of cycles and slots,
+// as well as the associated message in the schedule table").
+//
+// FlexRay multiplexes a static slot over the 64-cycle window: a message
+// occupies its frame ID's slot in the cycles where
+//
+//	cycle mod Repetition == BaseCycle,
+//
+// with Repetition a power of two.  For a message of period T on a cluster
+// with cycle length L, the natural repetition is T/L (clamped to a power of
+// two ≤ 64).  The builder derives (BaseCycle, Repetition) per message,
+// checks that the slot cadence can carry the message's instance rate within
+// its deadline, and reports per-message feasibility.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// CycleWindow is the FlexRay schedule multiplexing window (64 cycles).
+const CycleWindow = 64
+
+// Errors returned by the builder.
+var (
+	// ErrNotStatic is returned when a dynamic message is passed to the
+	// static table builder.
+	ErrNotStatic = errors.New("schedule: message is not static")
+	// ErrSlotRange is returned for frame IDs outside the static slot
+	// range.
+	ErrSlotRange = errors.New("schedule: frame ID outside static slot range")
+	// ErrConflict is returned when two messages collide on (slot, cycle).
+	ErrConflict = errors.New("schedule: slot/cycle conflict")
+)
+
+// Entry is one schedule-table row: a message bound to its slot cadence.
+type Entry struct {
+	// FrameID is the static slot the message owns.
+	FrameID int
+	// Message is the scheduled message.
+	Message *signal.Message
+	// BaseCycle and Repetition define the cycles (cycle mod Repetition ==
+	// BaseCycle) in which the slot carries this message.
+	BaseCycle, Repetition int
+	// Feasible reports whether the cadence meets the message's rate and
+	// deadline; Reason explains infeasibility.
+	Feasible bool
+	// Reason is empty for feasible entries.
+	Reason string
+}
+
+// Table is a validated static schedule table.
+type Table struct {
+	// Config is the cluster timing the table was built for.
+	Config timebase.Config
+	// Entries in ascending frame ID order.
+	Entries []Entry
+}
+
+// Build derives a static schedule table for the periodic messages of the
+// set under the given configuration.
+func Build(set signal.Set, cfg timebase.Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cycle := cfg.CycleDuration()
+	t := &Table{Config: cfg}
+	used := make(map[[2]int]string) // (slot, cycle index in window) → message
+	for _, m := range set.Static() {
+		m := m
+		if m.Kind != signal.Periodic {
+			return nil, fmt.Errorf("%w: %q", ErrNotStatic, m.Name)
+		}
+		if m.ID < 1 || m.ID > cfg.StaticSlots {
+			return nil, fmt.Errorf("%w: %q has frame ID %d of %d slots",
+				ErrSlotRange, m.Name, m.ID, cfg.StaticSlots)
+		}
+		e := Entry{FrameID: m.ID, Message: &m, Feasible: true}
+
+		// Deadline-aware repetition: the slot must recur at least once
+		// per min(period, deadline), so take the largest power of two
+		// ≤ min(period, deadline)/cycle, clamped to [1, CycleWindow].
+		bound := m.Period
+		if m.Deadline < bound {
+			bound = m.Deadline
+		}
+		ratio := int(bound / cycle)
+		e.Repetition = 1
+		for e.Repetition*2 <= ratio && e.Repetition*2 <= CycleWindow {
+			e.Repetition *= 2
+		}
+		// Base cycle: first cycle whose slot start is at or after the
+		// message's offset.
+		e.BaseCycle = baseCycleFor(m, cfg)
+		if e.BaseCycle >= e.Repetition {
+			e.BaseCycle %= e.Repetition
+		}
+
+		// Feasibility: the slot cadence must be at least the instance
+		// rate, and the gap between consecutive owned slots must not
+		// exceed the deadline (otherwise an instance released just
+		// after its slot misses).
+		cadence := time.Duration(e.Repetition) * cycle
+		if cadence > m.Period {
+			e.Feasible = false
+			e.Reason = fmt.Sprintf("slot cadence %v exceeds period %v", cadence, m.Period)
+		} else if cadence > m.Deadline {
+			e.Feasible = false
+			e.Reason = fmt.Sprintf("slot cadence %v exceeds deadline %v", cadence, m.Deadline)
+		}
+
+		// Conflict check across the multiplexing window.
+		for c := e.BaseCycle; c < CycleWindow; c += e.Repetition {
+			key := [2]int{m.ID, c}
+			if prev, clash := used[key]; clash {
+				return nil, fmt.Errorf("%w: slot %d cycle %d: %q and %q",
+					ErrConflict, m.ID, c, prev, m.Name)
+			}
+			used[key] = m.Name
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	sort.Slice(t.Entries, func(i, j int) bool { return t.Entries[i].FrameID < t.Entries[j].FrameID })
+	return t, nil
+}
+
+// baseCycleFor picks the first cycle in which the slot start is not before
+// the message's first release.
+func baseCycleFor(m signal.Message, cfg timebase.Config) int {
+	offset := cfg.FromDuration(m.Offset)
+	slotStart := timebase.Macrotick(m.ID-1) * cfg.StaticSlotLen
+	base := 0
+	for cfg.CycleStart(int64(base))+slotStart < offset && base < CycleWindow-1 {
+		base++
+	}
+	return base
+}
+
+// Feasible reports whether every entry is feasible.
+func (t *Table) Feasible() bool {
+	for _, e := range t.Entries {
+		if !e.Feasible {
+			return false
+		}
+	}
+	return true
+}
+
+// Infeasible returns the infeasible entries.
+func (t *Table) Infeasible() []Entry {
+	var out []Entry
+	for _, e := range t.Entries {
+		if !e.Feasible {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Lookup returns the message owning the slot in the given cycle, or nil.
+func (t *Table) Lookup(slot int, cycle int64) *signal.Message {
+	for _, e := range t.Entries {
+		if e.FrameID != slot {
+			continue
+		}
+		if int(cycle)%e.Repetition == e.BaseCycle {
+			return e.Message
+		}
+	}
+	return nil
+}
+
+// SlotLoad returns the fraction of the 64-cycle window in which the slot is
+// occupied (0 for unassigned slots).
+func (t *Table) SlotLoad(slot int) float64 {
+	for _, e := range t.Entries {
+		if e.FrameID == slot {
+			return 1 / float64(e.Repetition)
+		}
+	}
+	return 0
+}
+
+// Utilization returns the fraction of static (slot, cycle) pairs of the
+// window carrying a message.
+func (t *Table) Utilization() float64 {
+	if t.Config.StaticSlots == 0 {
+		return 0
+	}
+	var used float64
+	for _, e := range t.Entries {
+		used += float64(CycleWindow) / float64(e.Repetition)
+	}
+	return used / float64(t.Config.StaticSlots*CycleWindow)
+}
+
+// String renders the table for diagnostics.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static schedule table: %d entries, %d slots, utilization %.3f\n",
+		len(t.Entries), t.Config.StaticSlots, t.Utilization())
+	fmt.Fprintf(&b, "%-5s  %-14s  %-5s  %-4s  %-8s  %s\n",
+		"slot", "message", "base", "rep", "feasible", "reason")
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "%-5d  %-14s  %-5d  %-4d  %-8t  %s\n",
+			e.FrameID, e.Message.Name, e.BaseCycle, e.Repetition, e.Feasible, e.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Assignment binds one message to a synthesized slot cadence.
+type Assignment struct {
+	// Message is the scheduled message (its original frame ID is
+	// advisory; Slot is the synthesized one).
+	Message *signal.Message
+	// Slot is the static slot the message was placed in.
+	Slot int
+	// BaseCycle and Repetition define the occupied cycles.
+	BaseCycle, Repetition int
+}
+
+// Synthesis is the result of static-segment schedule synthesis.
+type Synthesis struct {
+	// Assignments in input order.
+	Assignments []Assignment
+	// SlotsUsed is the number of distinct static slots consumed.
+	SlotsUsed int
+}
+
+// Synthesize builds a minimal-width static schedule by slot multiplexing:
+// messages whose cadences are disjoint over the 64-cycle window share a
+// static slot (FlexRay 3.0 cycle multiplexing; the paper's refs on static
+// segment schedule optimization minimize exactly this slot count).
+//
+// The heuristic is first-fit decreasing on slot load: messages are placed
+// densest first (smallest repetition), each into the first slot with a free
+// base cycle for its repetition.  Two messages with power-of-two
+// repetitions collide iff their base cycles are congruent modulo the
+// smaller repetition, so a slot can host at most `rep` messages of
+// repetition `rep`.
+//
+// Deadline-aware repetitions are derived exactly as in Build.  Synthesize
+// fails when a message cannot meet its deadline with any cadence
+// (sub-cycle deadline) or when the configured static slots are exhausted.
+func Synthesize(set signal.Set, cfg timebase.Config) (*Synthesis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	statics := set.Static()
+	cycle := cfg.CycleDuration()
+
+	type item struct {
+		msg *signal.Message
+		rep int
+	}
+	items := make([]item, 0, len(statics))
+	for i := range statics {
+		m := &statics[i]
+		bound := m.Period
+		if m.Deadline < bound {
+			bound = m.Deadline
+		}
+		if bound < cycle {
+			return nil, fmt.Errorf("%w: %q deadline/period %v below the cycle %v",
+				ErrSlotRange, m.Name, bound, cycle)
+		}
+		rep := 1
+		ratio := int(bound / cycle)
+		for rep*2 <= ratio && rep*2 <= CycleWindow {
+			rep *= 2
+		}
+		items = append(items, item{msg: m, rep: rep})
+	}
+	// Densest first; ties by larger payload then name for determinism.
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].rep != items[j].rep {
+			return items[i].rep < items[j].rep
+		}
+		if items[i].msg.Bits != items[j].msg.Bits {
+			return items[i].msg.Bits > items[j].msg.Bits
+		}
+		return items[i].msg.Name < items[j].msg.Name
+	})
+
+	// occupancy[slot] marks the occupied cycles of the 64-cycle window.
+	occupancy := make(map[int]*[CycleWindow]bool)
+	syn := &Synthesis{}
+	byMsg := make(map[*signal.Message]Assignment, len(items))
+	for _, it := range items {
+		placed := false
+		for slot := 1; slot <= cfg.StaticSlots && !placed; slot++ {
+			occ, ok := occupancy[slot]
+			if !ok {
+				occ = &[CycleWindow]bool{}
+				occupancy[slot] = occ
+			}
+			for base := 0; base < it.rep; base++ {
+				free := true
+				for c := base; c < CycleWindow; c += it.rep {
+					if occ[c] {
+						free = false
+						break
+					}
+				}
+				if !free {
+					continue
+				}
+				for c := base; c < CycleWindow; c += it.rep {
+					occ[c] = true
+				}
+				byMsg[it.msg] = Assignment{
+					Message:    it.msg,
+					Slot:       slot,
+					BaseCycle:  base,
+					Repetition: it.rep,
+				}
+				if slot > syn.SlotsUsed {
+					syn.SlotsUsed = slot
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: no slot left for %q (repetition %d) within %d slots",
+				ErrConflict, it.msg.Name, it.rep, cfg.StaticSlots)
+		}
+	}
+	// Report in the input (frame ID) order.
+	for i := range statics {
+		syn.Assignments = append(syn.Assignments, byMsg[&statics[i]])
+	}
+	return syn, nil
+}
+
+// MinCycleLoad returns the theoretical lower bound on slots for the set
+// under the configuration: the total per-cycle slot demand Σ 1/rep, rounded
+// up.  Synthesize's result is optimal when SlotsUsed equals this bound.
+func MinCycleLoad(set signal.Set, cfg timebase.Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	cycle := cfg.CycleDuration()
+	load := 0.0
+	for _, m := range set.Static() {
+		bound := m.Period
+		if m.Deadline < bound {
+			bound = m.Deadline
+		}
+		if bound < cycle {
+			return 0, fmt.Errorf("%w: %q deadline/period %v below the cycle %v",
+				ErrSlotRange, m.Name, bound, cycle)
+		}
+		rep := 1
+		ratio := int(bound / cycle)
+		for rep*2 <= ratio && rep*2 <= CycleWindow {
+			rep *= 2
+		}
+		load += 1 / float64(rep)
+	}
+	bound := int(load)
+	if float64(bound) < load {
+		bound++
+	}
+	return bound, nil
+}

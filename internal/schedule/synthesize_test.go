@@ -1,0 +1,165 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+	"github.com/flexray-go/coefficient/internal/workload"
+)
+
+func TestSynthesizeMultiplexesSlots(t *testing.T) {
+	// Four messages of period 4ms on a 1ms cycle: each occupies 1/4 of a
+	// slot, so all four share one slot.
+	var msgs []signal.Message
+	for i := 0; i < 4; i++ {
+		msgs = append(msgs, periodic(i+1, 4*time.Millisecond, 4*time.Millisecond, 0))
+	}
+	set := signal.Set{Name: "mux", Messages: msgs}
+	syn, err := Synthesize(set, cfg1ms())
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if syn.SlotsUsed != 1 {
+		t.Fatalf("SlotsUsed = %d, want 1", syn.SlotsUsed)
+	}
+	// All four in slot 1 with distinct base cycles mod 4.
+	seen := make(map[int]bool)
+	for _, a := range syn.Assignments {
+		if a.Slot != 1 || a.Repetition != 4 {
+			t.Errorf("assignment %+v", a)
+		}
+		if seen[a.BaseCycle%4] {
+			t.Errorf("base cycle collision at %d", a.BaseCycle)
+		}
+		seen[a.BaseCycle%4] = true
+	}
+}
+
+func TestSynthesizeNoFalseSharing(t *testing.T) {
+	// Two per-cycle messages can never share: they need two slots.
+	set := signal.Set{Name: "dense", Messages: []signal.Message{
+		periodic(1, time.Millisecond, time.Millisecond, 0),
+		periodic(2, time.Millisecond, time.Millisecond, 0),
+	}}
+	syn, err := Synthesize(set, cfg1ms())
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if syn.SlotsUsed != 2 {
+		t.Errorf("SlotsUsed = %d, want 2", syn.SlotsUsed)
+	}
+}
+
+func TestSynthesizeMatchesLowerBoundOnBBW(t *testing.T) {
+	cfg := timebase.LatencyConfig(50)
+	set := workload.BBW()
+	syn, err := Synthesize(set, cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	bound, err := MinCycleLoad(set, cfg)
+	if err != nil {
+		t.Fatalf("MinCycleLoad: %v", err)
+	}
+	// BBW: 9 messages at repetition 1 + 11 at repetition 8 →
+	// load 9 + 11/8 = 10.375 → bound 11.
+	if bound != 11 {
+		t.Errorf("MinCycleLoad = %d, want 11", bound)
+	}
+	if syn.SlotsUsed != bound {
+		t.Errorf("SlotsUsed = %d, optimal bound %d", syn.SlotsUsed, bound)
+	}
+	// The naive one-slot-per-message table needs 20 slots; multiplexing
+	// nearly halves the static segment.
+	if syn.SlotsUsed >= 20 {
+		t.Error("synthesis saved nothing over one slot per message")
+	}
+	// No two assignments overlap on (slot, cycle).
+	used := make(map[[2]int]string)
+	for _, a := range syn.Assignments {
+		for c := a.BaseCycle; c < CycleWindow; c += a.Repetition {
+			key := [2]int{a.Slot, c}
+			if prev, clash := used[key]; clash {
+				t.Fatalf("slot %d cycle %d shared by %q and %q",
+					a.Slot, c, prev, a.Message.Name)
+			}
+			used[key] = a.Message.Name
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	subCycle := signal.Set{Name: "bad", Messages: []signal.Message{
+		periodic(1, 4*time.Millisecond, 500*time.Microsecond, 0),
+	}}
+	if _, err := Synthesize(subCycle, cfg1ms()); !errors.Is(err, ErrSlotRange) {
+		t.Errorf("sub-cycle deadline: %v, want ErrSlotRange", err)
+	}
+	if _, err := MinCycleLoad(subCycle, cfg1ms()); !errors.Is(err, ErrSlotRange) {
+		t.Errorf("MinCycleLoad sub-cycle: %v, want ErrSlotRange", err)
+	}
+	// Exhaust the slots: 40 per-cycle messages into 30 slots.
+	var msgs []signal.Message
+	for i := 0; i < 40; i++ {
+		msgs = append(msgs, periodic(i+1, time.Millisecond, time.Millisecond, 0))
+	}
+	dense := signal.Set{Name: "overflow", Messages: msgs}
+	if _, err := Synthesize(dense, cfg1ms()); !errors.Is(err, ErrConflict) {
+		t.Errorf("slot exhaustion: %v, want ErrConflict", err)
+	}
+	badCfg := cfg1ms()
+	badCfg.StaticSlots = 0
+	if _, err := Synthesize(signal.Set{}, badCfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Property: synthesis never collides on (slot, cycle) and never beats the
+// theoretical lower bound, across random workloads.
+func TestSynthesizeProperty(t *testing.T) {
+	rng := fault.NewRNG(99)
+	periods := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 64 * time.Millisecond,
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(25)
+		var msgs []signal.Message
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			msgs = append(msgs, periodic(i+1, p, p, 0))
+		}
+		set := signal.Set{Name: "prop", Messages: msgs}
+		cfg := cfg1ms()
+		syn, err := Synthesize(set, cfg)
+		if err != nil {
+			// Only possible by slot exhaustion with ≤25 per-cycle
+			// messages in 30 slots — cannot happen.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bound, err := MinCycleLoad(set, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: MinCycleLoad: %v", trial, err)
+		}
+		if syn.SlotsUsed < bound {
+			t.Fatalf("trial %d: %d slots beats bound %d", trial, syn.SlotsUsed, bound)
+		}
+		used := make(map[[2]int]bool)
+		for _, a := range syn.Assignments {
+			if a.Repetition < 1 || a.BaseCycle < 0 || a.BaseCycle >= a.Repetition {
+				t.Fatalf("trial %d: bad cadence %+v", trial, a)
+			}
+			for c := a.BaseCycle; c < CycleWindow; c += a.Repetition {
+				key := [2]int{a.Slot, c}
+				if used[key] {
+					t.Fatalf("trial %d: collision at slot %d cycle %d", trial, a.Slot, c)
+				}
+				used[key] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/node"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+	"github.com/flexray-go/coefficient/internal/topology"
+	"github.com/flexray-go/coefficient/internal/trace"
+)
+
+// Mode selects how a run terminates.
+type Mode int
+
+// Run modes.
+const (
+	// Streaming simulates a fixed bus-time horizon with hard deadlines:
+	// expired instances are dropped and counted as misses.  Used for the
+	// latency / utilization / miss-ratio experiments (Figures 3-5).
+	Streaming Mode = iota + 1
+	// Batch queues a fixed number of instances per message and runs until
+	// everything is delivered; instances never expire.  The makespan is
+	// the paper's "running time" (Figures 1-2).
+	Batch
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Config is the cluster timing configuration.
+	Config timebase.Config
+	// Cluster is the topology (defaults to a 10-node dual-channel bus).
+	Cluster topology.Cluster
+	// Workload is the validated message set.
+	Workload signal.Set
+	// BitRate is the bus speed in bits/s (defaults to frame.DefaultBitRate).
+	BitRate int64
+	// InjectorA and InjectorB inject transient faults per channel.  Nil
+	// means fault-free.
+	InjectorA, InjectorB fault.Injector
+	// Seed drives the dynamic arrival processes.
+	Seed uint64
+	// ArrivalJitter perturbs each aperiodic inter-arrival time uniformly
+	// within ±ArrivalJitter·period/2 (0 = strictly periodic arrivals,
+	// must be in [0, 1]).
+	ArrivalJitter float64
+	// CHIStaticCapacity bounds each static CHI buffer (pending instances
+	// per frame ID) and CHIDynamicCapacity the per-node dynamic queue.
+	// Zero means unlimited.  A full buffer loses the newest instance,
+	// which the metrics count as a drop.
+	CHIStaticCapacity, CHIDynamicCapacity int
+	// NodeFailures injects permanent faults (the paper's "physical
+	// damages [that] cause ... long-term malfunctioning"): the node stops
+	// transmitting at the given time.  Instances it would have sent pile
+	// up and expire, which the metrics count as misses.
+	NodeFailures map[int]timebase.Macrotick
+	// Mode selects Streaming or Batch.
+	Mode Mode
+	// Duration is the simulated horizon (Streaming).
+	Duration time.Duration
+	// Warmup excludes the first part of a streaming run from the metrics
+	// (deliveries, drops, faults, bandwidth): the report then reflects
+	// steady state.  Must be shorter than Duration; ignored in batch
+	// mode.
+	Warmup time.Duration
+	// BatchInstances is the number of instances per message (Batch).
+	BatchInstances int
+	// MaxCycles caps the simulation length as a safety net (Batch);
+	// 0 means 1<<20 cycles.
+	MaxCycles int64
+	// Recorder optionally captures the bus trace.
+	Recorder *trace.Recorder
+}
+
+func (o *Options) validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if err := o.Workload.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.ArrivalJitter < 0 || o.ArrivalJitter > 1 {
+		return fmt.Errorf("%w: ArrivalJitter %g outside [0, 1]", ErrBadOptions, o.ArrivalJitter)
+	}
+	if o.CHIStaticCapacity < 0 || o.CHIDynamicCapacity < 0 {
+		return fmt.Errorf("%w: negative CHI capacity", ErrBadOptions)
+	}
+	for id, at := range o.NodeFailures {
+		if at < 0 {
+			return fmt.Errorf("%w: node %d failure at %d", ErrBadOptions, id, at)
+		}
+	}
+	switch o.Mode {
+	case Streaming:
+		if o.Duration <= 0 {
+			return fmt.Errorf("%w: streaming needs a positive duration", ErrBadOptions)
+		}
+		if o.Warmup < 0 || o.Warmup >= o.Duration {
+			return fmt.Errorf("%w: warmup %v outside [0, %v)", ErrBadOptions, o.Warmup, o.Duration)
+		}
+	case Batch:
+		if o.BatchInstances <= 0 {
+			return fmt.Errorf("%w: batch needs BatchInstances > 0", ErrBadOptions)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %d", ErrBadOptions, int(o.Mode))
+	}
+	for _, m := range o.Workload.Static() {
+		if m.ID > o.Config.StaticSlots {
+			return fmt.Errorf("%w: static frame ID %d exceeds %d static slots",
+				ErrBadOptions, m.ID, o.Config.StaticSlots)
+		}
+	}
+	for _, m := range o.Workload.Dynamic() {
+		if m.ID <= o.Config.StaticSlots {
+			return fmt.Errorf("%w: dynamic frame ID %d inside static slot range 1..%d",
+				ErrBadOptions, m.ID, o.Config.StaticSlots)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Report holds the metrics summary.
+	Report metrics.Report
+	// Cycles is the number of communication cycles simulated.
+	Cycles int64
+	// FaultsA and FaultsB are the per-channel injector statistics.
+	FaultsA, FaultsB fault.Stats
+	// Scheduler is the policy name.
+	Scheduler string
+}
+
+// Run executes one simulation.
+func Run(opts Options, sched Scheduler) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.BitRate <= 0 {
+		opts.BitRate = frame.DefaultBitRate
+	}
+	if len(opts.Cluster.Nodes) == 0 {
+		opts.Cluster = topology.DualChannelBus(workloadNodes(opts.Workload))
+	}
+	if err := opts.Cluster.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if opts.InjectorA == nil {
+		opts.InjectorA = &fault.None{}
+	}
+	if opts.InjectorB == nil {
+		opts.InjectorB = &fault.None{}
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 1 << 20
+	}
+
+	eng, err := newEngine(opts, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.run()
+}
+
+// engine is the per-run state.
+type engine struct {
+	opts  Options
+	sched Scheduler
+	env   *Env
+	col   *metrics.Collector
+	rec   *trace.Recorder
+
+	// rel generates instance releases.
+	rel *releaser
+
+	// total and done track batch completion.
+	total, done int64
+
+	// latestTx is the resolved pLatestTx.
+	latestTx int
+
+	// warmup is the macrotick time before which metrics are not
+	// collected.
+	warmup timebase.Macrotick
+}
+
+func newEngine(opts Options, sched Scheduler) (*engine, error) {
+	cfg := opts.Config
+	env := &Env{
+		Cfg:         cfg,
+		BitRate:     opts.BitRate,
+		Set:         opts.Workload,
+		ECUs:        make(map[int]*node.ECU),
+		StaticMsgs:  make(map[int]*signal.Message),
+		DynamicMsgs: make(map[int]*signal.Message),
+		Cluster:     opts.Cluster,
+	}
+	staticByNode := make(map[int][]int)
+	var maxDyn timebase.Macrotick
+	for i := range opts.Workload.Messages {
+		m := &opts.Workload.Messages[i]
+		if _, ok := opts.Cluster.Node(m.Node); !ok {
+			return nil, fmt.Errorf("%w: message %q on unknown node %d",
+				ErrBadOptions, m.Name, m.Node)
+		}
+		switch m.Kind {
+		case signal.Periodic:
+			env.StaticMsgs[m.ID] = m
+			staticByNode[m.Node] = append(staticByNode[m.Node], m.ID)
+			if !envFits(env, m) {
+				return nil, fmt.Errorf("%w: static message %q (%d bits) does not fit a %d-macrotick slot at %d bit/s",
+					ErrBadOptions, m.Name, m.Bits, cfg.StaticSlotLen, opts.BitRate)
+			}
+		case signal.Aperiodic:
+			env.DynamicMsgs[m.ID] = m
+			if d := env.FrameDuration(m); d > maxDyn {
+				maxDyn = d
+			}
+		}
+	}
+	for _, n := range opts.Cluster.Nodes {
+		ecu := node.NewECU(n.ID, staticByNode[n.ID])
+		ecu.SetCapacities(opts.CHIStaticCapacity, opts.CHIDynamicCapacity)
+		env.ECUs[n.ID] = ecu
+	}
+	lt := cfg.LatestTx
+	if lt == 0 {
+		lt = cfg.DeriveLatestTx(maxDyn)
+	}
+	env.LatestTx = lt
+
+	eng := &engine{
+		opts:     opts,
+		sched:    sched,
+		env:      env,
+		col:      metrics.NewCollector(cfg),
+		rec:      opts.Recorder,
+		latestTx: lt,
+	}
+	if opts.Mode == Streaming {
+		eng.warmup = cfg.FromDuration(opts.Warmup)
+	}
+	eng.rel = newReleaser(opts, env)
+	eng.rel.overflow = func(in *node.Instance, rel timebase.Macrotick) {
+		eng.dropInstance(in, rel)
+	}
+	if err := sched.Init(env); err != nil {
+		return nil, fmt.Errorf("scheduler init: %w", err)
+	}
+	return eng, nil
+}
+
+func envFits(env *Env, m *signal.Message) bool {
+	return env.FitsStaticSlot(m)
+}
+
+func workloadNodes(set signal.Set) int {
+	maxNode := 0
+	for _, m := range set.Messages {
+		if m.Node > maxNode {
+			maxNode = m.Node
+		}
+	}
+	return maxNode + 1
+}
+
+// run walks communication cycles until the mode's termination condition.
+func (e *engine) run() (Result, error) {
+	cfg := e.opts.Config
+	var endCycle int64
+	if e.opts.Mode == Streaming {
+		horizon := cfg.FromDuration(e.opts.Duration)
+		endCycle = int64(horizon / cfg.MacroPerCycle)
+		if endCycle < 1 {
+			endCycle = 1
+		}
+	} else {
+		endCycle = e.opts.MaxCycles
+		e.total = e.rel.enqueueBatch()
+	}
+
+	lastProgress := int64(0)
+	doneAtLastProgress := int64(-1)
+	for cycle := int64(0); cycle < endCycle; cycle++ {
+		now := cfg.CycleStart(cycle)
+		if e.opts.Mode == Streaming {
+			e.rel.enqueueCycle(cycle)
+			e.dropExpired(now)
+		}
+		e.sched.CycleStart(cycle, now)
+		for _, ecu := range e.env.ECUs {
+			ecu.ResetSlotCounters()
+		}
+
+		e.runStaticSegment(cycle)
+		e.runDynamicSegment(cycle)
+
+		if now >= e.warmup {
+			e.col.ChannelTime(2 * cfg.MacroPerCycle)
+		}
+
+		if e.opts.Mode == Batch {
+			if e.done >= e.total {
+				return e.result(cycle + 1), nil
+			}
+			if e.done != doneAtLastProgress {
+				doneAtLastProgress = e.done
+				lastProgress = cycle
+			} else if cycle-lastProgress > stallCycles {
+				return Result{}, fmt.Errorf("%w: %d of %d instances after %d cycles",
+					ErrStalled, e.done, e.total, cycle+1)
+			}
+		}
+	}
+	if e.opts.Mode == Batch && e.done < e.total {
+		return Result{}, fmt.Errorf("%w: %d of %d instances after MaxCycles=%d",
+			ErrStalled, e.done, e.total, e.opts.MaxCycles)
+	}
+	return e.result(endCycle), nil
+}
+
+// stallCycles is the no-progress limit for batch runs.
+const stallCycles = 20000
+
+func (e *engine) result(cycles int64) Result {
+	return Result{
+		Report:    e.col.Report(),
+		Cycles:    cycles,
+		FaultsA:   e.opts.InjectorA.Stats(),
+		FaultsB:   e.opts.InjectorB.Stats(),
+		Scheduler: e.sched.Name(),
+	}
+}
+
+// runStaticSegment walks the TDMA slots of one cycle on both channels.
+func (e *engine) runStaticSegment(cycle int64) {
+	cfg := e.opts.Config
+	for slot := 1; slot <= cfg.StaticSlots; slot++ {
+		slotStart := cfg.StaticSlotStart(cycle, slot)
+		for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+			tx := e.sched.StaticSlot(ch, cycle, slot, slotStart)
+			if tx == nil {
+				continue
+			}
+			if err := e.checkStaticTx(tx, ch); err != nil {
+				// Protocol violation by the scheduler is a
+				// programming error; drop the transmission and
+				// record it so tests catch it.
+				e.recordInvalid(tx, ch, slotStart, err)
+				continue
+			}
+			e.transmit(tx, ch, slotStart)
+		}
+	}
+}
+
+func (e *engine) checkStaticTx(tx *Transmission, ch frame.Channel) error {
+	if err := tx.validate(e.env); err != nil {
+		return err
+	}
+	if tx.Duration > e.opts.Config.StaticSlotLen {
+		return fmt.Errorf("%w: frame %d macroticks exceeds static slot %d",
+			ErrBadTransmission, tx.Duration, e.opts.Config.StaticSlotLen)
+	}
+	n, ok := e.opts.Cluster.Node(tx.Instance.Msg.Node)
+	if !ok || !n.Attached(ch) {
+		return fmt.Errorf("%w: node %d not attached to channel %v",
+			ErrBadTransmission, tx.Instance.Msg.Node, ch)
+	}
+	return nil
+}
+
+// runDynamicSegment walks the FTDMA minislots of one cycle, per channel.
+func (e *engine) runDynamicSegment(cycle int64) {
+	cfg := e.opts.Config
+	if cfg.Minislots == 0 {
+		return
+	}
+	for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+		minislot := 1
+		slotCounter := cfg.StaticSlots + 1
+		for minislot <= cfg.Minislots {
+			now := cfg.MinislotStart(cycle, minislot)
+			remaining := cfg.Minislots - minislot + 1
+			var tx *Transmission
+			if minislot <= e.latestTx {
+				tx = e.sched.DynamicSlot(ch, cycle, slotCounter, minislot, remaining, now)
+			}
+			if tx == nil {
+				minislot++
+				slotCounter++
+				continue
+			}
+			need := cfg.MinislotsForFrame(tx.Duration)
+			if err := e.checkDynamicTx(tx, ch, need, remaining); err != nil {
+				e.recordInvalid(tx, ch, now, err)
+				minislot++
+				slotCounter++
+				continue
+			}
+			e.transmit(tx, ch, now+cfg.MinislotActionPointOffset)
+			minislot += need
+			slotCounter++
+		}
+	}
+}
+
+func (e *engine) checkDynamicTx(tx *Transmission, ch frame.Channel, need, remaining int) error {
+	if err := tx.validate(e.env); err != nil {
+		return err
+	}
+	if need > remaining {
+		return fmt.Errorf("%w: needs %d minislots, %d remain", ErrBadTransmission, need, remaining)
+	}
+	n, ok := e.opts.Cluster.Node(tx.Instance.Msg.Node)
+	if !ok || !n.Attached(ch) {
+		return fmt.Errorf("%w: node %d not attached to channel %v",
+			ErrBadTransmission, tx.Instance.Msg.Node, ch)
+	}
+	return nil
+}
+
+// nodeAlive reports whether the node has not permanently failed by t.
+func (e *engine) nodeAlive(nodeID int, t timebase.Macrotick) bool {
+	at, failed := e.opts.NodeFailures[nodeID]
+	return !failed || t < at
+}
+
+// recordInvalid traces a rejected transmission, tolerating schedulers
+// broken enough to hand over nil instances.
+func (e *engine) recordInvalid(tx *Transmission, ch frame.Channel, at timebase.Macrotick, err error) {
+	ev := trace.Event{
+		Time: at, Kind: trace.EventDrop,
+		Channel: ch, Detail: "invalid: " + err.Error(),
+	}
+	if tx.Instance != nil && tx.Instance.Msg != nil {
+		ev.FrameID = tx.Instance.Msg.ID
+		ev.Node = tx.Instance.Msg.Node
+	}
+	e.record(ev)
+}
+
+// transmit puts a frame on the wire at `start`, injects faults, updates
+// metrics and informs the scheduler.
+func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Macrotick) {
+	in := tx.Instance
+	m := in.Msg
+	end := start + tx.Duration
+
+	// A permanently failed node leaves its slot silent; the scheduler
+	// observes the failure like any corrupted transmission.
+	if !e.nodeAlive(m.Node, start) {
+		e.record(trace.Event{
+			Time: start, Kind: trace.EventDrop, FrameID: m.ID, Seq: in.Seq,
+			Node: m.Node, Channel: ch, Detail: "node-failed",
+		})
+		e.sched.Result(tx, false, end)
+		return
+	}
+	in.Attempts++
+
+	e.record(trace.Event{
+		Time: start, Kind: trace.EventTxStart, FrameID: m.ID, Seq: in.Seq,
+		Node: m.Node, Channel: ch, Detail: tx.Detail,
+	})
+	measured := end >= e.warmup
+	if tx.Retx && measured {
+		e.col.Retransmission()
+		e.record(trace.Event{
+			Time: start, Kind: trace.EventRetransmit, FrameID: m.ID, Seq: in.Seq,
+			Node: m.Node, Channel: ch,
+		})
+	}
+	if measured {
+		e.col.RawBusy(tx.Duration)
+	}
+
+	inj := e.opts.InjectorA
+	if ch == frame.ChannelB {
+		inj = e.opts.InjectorB
+	}
+	ok := !inj.Corrupts(frame.WireBits(m.Bytes()))
+	if !ok {
+		if measured {
+			e.col.Fault()
+		}
+		e.record(trace.Event{
+			Time: end, Kind: trace.EventFault, FrameID: m.ID, Seq: in.Seq,
+			Node: m.Node, Channel: ch,
+		})
+	} else if !in.Done {
+		in.Done = true
+		in.Completion = end
+		if measured {
+			e.col.BusBusy(tx.Duration)
+			e.col.PayloadDelivered(m.Bits)
+			e.col.DeliveredFrame(kindOf(m), m.ID, in.Release, end, in.Deadline)
+		}
+		e.done++
+		e.record(trace.Event{
+			Time: end, Kind: trace.EventTxEnd, FrameID: m.ID, Seq: in.Seq,
+			Node: m.Node, Channel: ch, Detail: tx.Detail,
+		})
+		if in.Deadline != node.NoDeadline && end > in.Deadline {
+			e.record(trace.Event{
+				Time: end, Kind: trace.EventDeadlineMiss, FrameID: m.ID, Seq: in.Seq,
+				Node: m.Node, Channel: ch,
+			})
+		}
+	}
+	e.sched.Result(tx, ok, end)
+}
+
+// dropExpired abandons instances whose deadline passed.
+func (e *engine) dropExpired(now timebase.Macrotick) {
+	for _, ecu := range e.env.ECUs {
+		for _, in := range ecu.DropExpiredStatic(now) {
+			e.dropInstance(in, now)
+		}
+		for _, in := range ecu.DropExpiredDynamic(now) {
+			e.dropInstance(in, now)
+		}
+	}
+}
+
+func (e *engine) dropInstance(in *node.Instance, now timebase.Macrotick) {
+	if now >= e.warmup {
+		e.col.Dropped(kindOf(in.Msg))
+	}
+	e.done++ // dropped counts as resolved for batch accounting
+	e.record(trace.Event{
+		Time: now, Kind: trace.EventDrop, FrameID: in.Msg.ID, Seq: in.Seq,
+		Node: in.Msg.Node,
+	})
+	e.sched.InstanceDropped(in, now)
+}
+
+func (e *engine) record(ev trace.Event) {
+	e.rec.Record(ev)
+}
+
+func kindOf(m *signal.Message) metrics.SegmentKind {
+	if m.Kind == signal.Periodic {
+		return metrics.Static
+	}
+	return metrics.Dynamic
+}

@@ -1,0 +1,157 @@
+// Package sim is the discrete-event FlexRay cluster simulator.  It walks
+// communication cycles macrotick-accurately — static TDMA slots, then the
+// FTDMA dynamic segment, per channel — injects transient faults, keeps the
+// CHI buffers of every ECU fed with released message instances, and defers
+// every *policy* decision (what to put in a slot) to a Scheduler
+// implementation: the FSPEC baseline or the CoEfficient scheduler.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/node"
+	"github.com/flexray-go/coefficient/internal/signal"
+	"github.com/flexray-go/coefficient/internal/timebase"
+	"github.com/flexray-go/coefficient/internal/topology"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrBadTransmission is returned when a scheduler returns a
+	// transmission that violates protocol constraints (frame too long for
+	// the slot, node not attached to the channel, FTDMA window exceeded).
+	ErrBadTransmission = errors.New("sim: invalid transmission")
+	// ErrBadOptions is returned for inconsistent run options.
+	ErrBadOptions = errors.New("sim: invalid options")
+	// ErrStalled is returned when a batch run stops making progress.
+	ErrStalled = errors.New("sim: batch run stalled")
+)
+
+// Env is the read-mostly world handed to a Scheduler at Init: cluster
+// timing, the workload, the ECUs with their CHI buffers, and frame timing
+// helpers.  Schedulers manipulate the ECU queues directly (pop, requeue) —
+// the engine owns time, the wire, fault injection and bookkeeping.
+type Env struct {
+	// Cfg is the cluster timing configuration.
+	Cfg timebase.Config
+	// BitRate is the bus speed in bits/s.
+	BitRate int64
+	// Set is the workload.
+	Set signal.Set
+	// ECUs maps node ID to its ECU model.
+	ECUs map[int]*node.ECU
+	// StaticMsgs maps static frame IDs to messages.
+	StaticMsgs map[int]*signal.Message
+	// DynamicMsgs maps dynamic frame IDs to messages.
+	DynamicMsgs map[int]*signal.Message
+	// LatestTx is the resolved pLatestTx for the dynamic segment.
+	LatestTx int
+	// Cluster is the validated topology; schedulers consult it before
+	// placing a frame on a channel the node may not be attached to.
+	Cluster topology.Cluster
+}
+
+// Attached reports whether the node is attached to the channel.
+func (e *Env) Attached(nodeID int, ch frame.Channel) bool {
+	n, ok := e.Cluster.Node(nodeID)
+	return ok && n.Attached(ch)
+}
+
+// FrameDuration returns the wire time of a message's frame in macroticks.
+func (e *Env) FrameDuration(m *signal.Message) timebase.Macrotick {
+	return frame.Duration(m.Bytes(), e.BitRate, e.Cfg)
+}
+
+// FitsStaticSlot reports whether the message's frame fits one static slot.
+func (e *Env) FitsStaticSlot(m *signal.Message) bool {
+	return e.FrameDuration(m) <= e.Cfg.StaticSlotLen
+}
+
+// MinislotsFor returns the number of minislots a dynamic transmission of the
+// message consumes.
+func (e *Env) MinislotsFor(m *signal.Message) int {
+	return e.Cfg.MinislotsForFrame(e.FrameDuration(m))
+}
+
+// OwnerOfStaticSlot returns the ECU owning static slot `slot` (= frame ID),
+// or nil when the slot is unassigned.
+func (e *Env) OwnerOfStaticSlot(slot int) *node.ECU {
+	m, ok := e.StaticMsgs[slot]
+	if !ok {
+		return nil
+	}
+	return e.ECUs[m.Node]
+}
+
+// Transmission is one frame a scheduler puts on a channel.
+type Transmission struct {
+	// Instance is the message instance carried.
+	Instance *node.Instance
+	// Channel is the channel transmitted on.
+	Channel frame.Channel
+	// Duration is the wire time in macroticks.
+	Duration timebase.Macrotick
+	// Retx marks a retransmission attempt (not the first transmission of
+	// the instance).
+	Retx bool
+	// Stolen marks a transmission placed into stolen static-segment slack
+	// (CoEfficient's cooperative scheduling).
+	Stolen bool
+	// Redundant marks a copy whose instance may already be delivered on
+	// the other channel (FSPEC dual-channel redundancy).
+	Redundant bool
+	// Detail is free-form context recorded in the trace.
+	Detail string
+	// Tag is opaque scheduler state passed back verbatim in Result (e.g.
+	// the retransmission job a copy belongs to).
+	Tag any
+}
+
+func (tx *Transmission) validate(env *Env) error {
+	if tx.Instance == nil || tx.Instance.Msg == nil {
+		return fmt.Errorf("%w: nil instance", ErrBadTransmission)
+	}
+	if tx.Duration <= 0 {
+		return fmt.Errorf("%w: duration %d", ErrBadTransmission, tx.Duration)
+	}
+	ecu, ok := env.ECUs[tx.Instance.Msg.Node]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %d", ErrBadTransmission, tx.Instance.Msg.Node)
+	}
+	_ = ecu
+	return nil
+}
+
+// Scheduler is the policy half of the simulator.  Exactly one method is
+// invoked at a time; implementations need no locking.
+//
+// Call order within a cycle: CycleStart; then for each static slot, channel
+// A's StaticSlot (and its Result) before channel B's; then the full dynamic
+// FTDMA walk of channel A followed by channel B's.  Schedulers may rely on
+// this ordering, e.g. to duplicate a static frame on channel B.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init receives the environment before the first cycle.
+	Init(env *Env) error
+	// CycleStart is called at the beginning of every communication cycle.
+	CycleStart(cycle int64, now timebase.Macrotick)
+	// StaticSlot picks the transmission for static slot `slot` of `cycle`
+	// on channel ch (slot start time `now`), or nil to leave it idle.
+	// The returned frame must fit the static slot.
+	StaticSlot(ch frame.Channel, cycle int64, slot int, now timebase.Macrotick) *Transmission
+	// DynamicSlot is consulted during the FTDMA walk: the current dynamic
+	// slot counter is `slotCounter`, the current minislot index is
+	// `minislot` (1-based) and `remaining` minislots are left in the
+	// segment.  Return the transmission for this dynamic slot or nil to
+	// let the slot pass in one minislot.
+	DynamicSlot(ch frame.Channel, cycle int64, slotCounter, minislot, remaining int, now timebase.Macrotick) *Transmission
+	// Result reports the outcome of a transmission: ok is false when a
+	// transient fault corrupted the frame.  now is the wire end time.
+	Result(tx *Transmission, ok bool, now timebase.Macrotick)
+	// InstanceDropped tells the scheduler an instance was abandoned
+	// because its deadline passed (streaming mode only).
+	InstanceDropped(in *node.Instance, now timebase.Macrotick)
+}

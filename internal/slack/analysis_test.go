@@ -1,0 +1,386 @@
+package slack
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/task"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// twoTasks is a hand-analyzable set:
+//
+//	τ1: C=2, T=5,  D=5  (highest priority)
+//	τ2: C=3, T=10, D=10
+//
+// Schedule over one hyperperiod (10): τ1 runs [0,2), τ2 [2,5), τ1 [5,7),
+// idle [7,10).
+//
+//	level-1 idle: [2,5) ∪ [7,10) → A_1(10) = 6
+//	level-2 idle: [7,10)        → A_2(10) = 3
+func twoTasks(t *testing.T) *task.Set {
+	t.Helper()
+	s, err := task.NewSet([]task.Periodic{
+		{Name: "t1", C: 2, T: 5, D: 5},
+		{Name: "t2", C: 3, T: 10, D: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}
+
+func TestNewAnalysisErrors(t *testing.T) {
+	if _, err := NewAnalysis(nil); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("NewAnalysis(nil) = %v, want ErrEmptySet", err)
+	}
+	if _, err := NewAnalysis(&task.Set{}); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("NewAnalysis(empty) = %v, want ErrEmptySet", err)
+	}
+}
+
+func TestNewAnalysisRejectsUnschedulable(t *testing.T) {
+	// Two tasks that each fit alone but miss together: τ1 hogs 3 of 5
+	// every period, τ2 needs 3 by deadline 4.
+	s, err := task.NewSet([]task.Periodic{
+		{Name: "hog", C: 3, T: 5, D: 4},
+		{Name: "victim", C: 3, T: 15, D: 5},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	if _, err := NewAnalysis(s); !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("NewAnalysis = %v, want ErrUnschedulable", err)
+	}
+}
+
+func TestLevelIdleHandComputed(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	tests := []struct {
+		level int
+		t     timebase.Macrotick
+		want  timebase.Macrotick
+	}{
+		{1, 0, 0},
+		{1, 2, 0},
+		{1, 3, 1}, // τ2 running → level-1 idle
+		{1, 5, 3},
+		{1, 7, 3},
+		{1, 8, 4}, // processor idle
+		{1, 10, 6},
+		{2, 5, 0},
+		{2, 7, 0},
+		{2, 10, 3},
+		{1, 20, 12}, // second hyperperiod
+		{2, 20, 6},
+	}
+	for _, tt := range tests {
+		got, err := a.LevelIdle(tt.level, tt.t)
+		if err != nil {
+			t.Fatalf("LevelIdle(%d, %d): %v", tt.level, tt.t, err)
+		}
+		if got != tt.want {
+			t.Errorf("LevelIdle(%d, %d) = %d, want %d", tt.level, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestLevelIdleExtrapolation(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	// Window is 2 hyperperiods = 20.  Beyond it the pattern repeats.
+	for _, tt := range []struct {
+		level int
+		t     timebase.Macrotick
+		want  timebase.Macrotick
+	}{
+		{1, 30, 18},
+		{1, 105, 63},   // 10.5 hyperperiods: 10*6 + idle(5)=3
+		{2, 1000, 300}, // 100 hyperperiods * 3
+	} {
+		got, err := a.LevelIdle(tt.level, tt.t)
+		if err != nil {
+			t.Fatalf("LevelIdle: %v", err)
+		}
+		if got != tt.want {
+			t.Errorf("LevelIdle(%d, %d) = %d, want %d", tt.level, tt.t, got, tt.want)
+		}
+	}
+	per, err := a.IdlePerHyperperiod(1)
+	if err != nil || per != 6 {
+		t.Errorf("IdlePerHyperperiod(1) = %d, %v; want 6", per, err)
+	}
+	per, err = a.IdlePerHyperperiod(2)
+	if err != nil || per != 3 {
+		t.Errorf("IdlePerHyperperiod(2) = %d, %v; want 3", per, err)
+	}
+}
+
+func TestLevelIdleBadLevel(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	if _, err := a.LevelIdle(0, 5); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("LevelIdle(0) = %v, want ErrBadLevel", err)
+	}
+	if _, err := a.LevelIdle(3, 5); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("LevelIdle(3) = %v, want ErrBadLevel", err)
+	}
+}
+
+func TestIdleInWindow(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	got, err := a.IdleInWindow(1, 3, 8)
+	if err != nil {
+		t.Fatalf("IdleInWindow: %v", err)
+	}
+	if got != 3 { // [3,5) idle (2) + [7,8) idle (1)
+		t.Errorf("IdleInWindow(1, 3, 8) = %d, want 3", got)
+	}
+	if _, err := a.IdleInWindow(1, 8, 3); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	tests := []struct {
+		level int
+		t     timebase.Macrotick
+		want  timebase.Macrotick
+	}{
+		{1, 0, 5},
+		{1, 5, 5},
+		{1, 6, 10},
+		{2, 0, 10},
+		{2, 10, 10},
+		{2, 11, 20},
+		{1, 103, 105},
+	}
+	for _, tt := range tests {
+		got, err := a.NextDeadline(tt.level, tt.t)
+		if err != nil {
+			t.Fatalf("NextDeadline: %v", err)
+		}
+		if got != tt.want {
+			t.Errorf("NextDeadline(%d, %d) = %d, want %d", tt.level, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestLastDeadlineIn(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	tests := []struct {
+		level  int
+		t1, t2 timebase.Macrotick
+		want   timebase.Macrotick
+		ok     bool
+	}{
+		{1, 0, 4, 0, false},
+		{1, 0, 5, 5, true},
+		{1, 5, 12, 10, true},
+		{1, 5, 5, 0, false}, // (5, 5] empty
+		{2, 0, 9, 0, false},
+		{2, 9, 30, 30, true},
+	}
+	for _, tt := range tests {
+		got, ok, err := a.LastDeadlineIn(tt.level, tt.t1, tt.t2)
+		if err != nil {
+			t.Fatalf("LastDeadlineIn: %v", err)
+		}
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("LastDeadlineIn(%d, %d, %d) = (%d, %v), want (%d, %v)",
+				tt.level, tt.t1, tt.t2, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestAnalysisWithOffsets(t *testing.T) {
+	// τ1 offset 1: schedule is idle [0,1), τ1 [1,3), τ2 [3,6), τ1 [6,8),
+	// idle [8,11)... hyperperiod 10, maxOffset 1.
+	s, err := task.NewSet([]task.Periodic{
+		{Name: "t1", C: 2, T: 5, Phi: 1, D: 5},
+		{Name: "t2", C: 3, T: 10, D: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	a, err := NewAnalysis(s)
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	// Level-1 idle: [0,1) ∪ [3,6) ∪ [8,11) ...
+	for _, tt := range []struct {
+		t, want timebase.Macrotick
+	}{
+		{1, 1}, {3, 1}, {6, 4}, {8, 4}, {11, 7},
+	} {
+		got, err := a.LevelIdle(1, tt.t)
+		if err != nil {
+			t.Fatalf("LevelIdle: %v", err)
+		}
+		if got != tt.want {
+			t.Errorf("LevelIdle(1, %d) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+	if a.Window() != 21 { // maxOffset 1 + 2*10
+		t.Errorf("Window() = %d, want 21", a.Window())
+	}
+}
+
+func TestAnalysisAccessors(t *testing.T) {
+	set := twoTasks(t)
+	a, err := NewAnalysis(set)
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	if a.Levels() != 2 {
+		t.Errorf("Levels() = %d, want 2", a.Levels())
+	}
+	if a.Hyperperiod() != 10 {
+		t.Errorf("Hyperperiod() = %d, want 10", a.Hyperperiod())
+	}
+	if a.Set() != set {
+		t.Error("Set() does not return the analyzed set")
+	}
+	if _, err := a.IdlePerHyperperiod(0); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("IdlePerHyperperiod(0) = %v, want ErrBadLevel", err)
+	}
+}
+
+// Property-style check against an independent tick-level reference: the
+// level-i idle time from the analysis must match a brute-force tick
+// simulation for a variety of small task sets.
+func TestLevelIdleMatchesBruteForce(t *testing.T) {
+	sets := [][]task.Periodic{
+		{
+			{Name: "a", C: 1, T: 4, D: 4},
+			{Name: "b", C: 2, T: 6, D: 6},
+		},
+		{
+			{Name: "a", C: 2, T: 5, D: 4},
+			{Name: "b", C: 1, T: 7, D: 7},
+			{Name: "c", C: 1, T: 10, D: 10},
+		},
+		{
+			{Name: "a", C: 1, T: 3, Phi: 1, D: 3},
+			{Name: "b", C: 2, T: 9, Phi: 2, D: 9},
+		},
+	}
+	for si, tasks := range sets {
+		s, err := task.NewSet(tasks)
+		if err != nil {
+			t.Fatalf("set %d: NewSet: %v", si, err)
+		}
+		a, err := NewAnalysis(s)
+		if err != nil {
+			t.Fatalf("set %d: NewAnalysis: %v", si, err)
+		}
+		ref := bruteForceIdle(s, a.Window())
+		for level := 1; level <= len(s.Tasks); level++ {
+			for tm := timebase.Macrotick(0); tm <= a.Window(); tm += 1 {
+				got, err := a.LevelIdle(level, tm)
+				if err != nil {
+					t.Fatalf("LevelIdle: %v", err)
+				}
+				if got != ref[level-1][tm] {
+					t.Fatalf("set %d: LevelIdle(%d, %d) = %d, brute force %d",
+						si, level, tm, got, ref[level-1][tm])
+				}
+			}
+		}
+	}
+}
+
+// bruteForceIdle simulates the FP schedule tick by tick and returns, per
+// 0-based level index, the cumulative level idle at each tick.
+func bruteForceIdle(s *task.Set, window timebase.Macrotick) [][]timebase.Macrotick {
+	n := len(s.Tasks)
+	remaining := make([]timebase.Macrotick, n)
+	nextRel := make([]timebase.Macrotick, n)
+	for i, tk := range s.Tasks {
+		nextRel[i] = tk.Phi
+	}
+	out := make([][]timebase.Macrotick, n)
+	for i := range out {
+		out[i] = make([]timebase.Macrotick, window+1)
+	}
+	var cum = make([]timebase.Macrotick, n)
+	for tm := timebase.Macrotick(0); tm < window; tm++ {
+		for i, tk := range s.Tasks {
+			if nextRel[i] == tm {
+				remaining[i] += tk.C
+				nextRel[i] += tk.T
+			}
+		}
+		run := -1
+		for i := 0; i < n; i++ {
+			if remaining[i] > 0 {
+				run = i
+				break
+			}
+		}
+		for level := 1; level <= n; level++ {
+			out[level-1][tm] = cum[level-1]
+			if run == -1 || run >= level {
+				cum[level-1]++
+			}
+		}
+		if run >= 0 {
+			remaining[run]--
+		}
+	}
+	for level := 0; level < n; level++ {
+		out[level][window] = cum[level]
+	}
+	return out
+}
+
+func TestSlackTable(t *testing.T) {
+	a, err := NewAnalysis(twoTasks(t))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	// τ1 (C=2,T=5,D=5): deadlines 5,10,15,20 with A_1 = 3,6,9,12.
+	tbl, err := a.SlackTable(1, 20)
+	if err != nil {
+		t.Fatalf("SlackTable: %v", err)
+	}
+	want := []TableEntry{{5, 3}, {10, 6}, {15, 9}, {20, 12}}
+	if len(tbl) != len(want) {
+		t.Fatalf("table = %+v, want %+v", tbl, want)
+	}
+	for i := range want {
+		if tbl[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, tbl[i], want[i])
+		}
+	}
+	// Availability is non-decreasing in the deadline.
+	tbl2, err := a.SlackTable(2, 100)
+	if err != nil {
+		t.Fatalf("SlackTable: %v", err)
+	}
+	for i := 1; i < len(tbl2); i++ {
+		if tbl2[i].Available < tbl2[i-1].Available {
+			t.Fatalf("availability decreased at %+v", tbl2[i])
+		}
+	}
+	if _, err := a.SlackTable(0, 10); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("SlackTable(0) = %v, want ErrBadLevel", err)
+	}
+}

@@ -1,0 +1,45 @@
+package slack_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flexray-go/coefficient/internal/slack"
+	"github.com/flexray-go/coefficient/internal/task"
+)
+
+// Example builds the offline analysis for a two-task set and shows the
+// slack available at time zero and over a 10-tick horizon.
+func Example() {
+	set, err := task.NewSet([]task.Periodic{
+		{Name: "t1", C: 2, T: 5, D: 5},
+		{Name: "t2", C: 3, T: 10, D: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := slack.NewAnalysis(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := slack.NewStealer(a)
+
+	avail, err := st.Available()
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity, err := st.Capacity(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("available now:", avail)
+	fmt.Println("capacity by t=10:", capacity)
+
+	// A 3-tick retransmission due by t=10 fits exactly.
+	err = st.AdmitHard(task.Aperiodic{Name: "retx", Arrival: 0, P: 3, D: 10})
+	fmt.Println("admitted:", err == nil)
+	// Output:
+	// available now: 3
+	// capacity by t=10: 3
+	// admitted: true
+}

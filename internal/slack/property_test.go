@@ -1,0 +1,147 @@
+package slack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/task"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Property: for randomized small task sets, the event-driven Capacity
+// matches the tick-level brute force at every horizon up to two
+// hyperperiods.
+func TestCapacityMatchesBruteForceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow brute-force cross-check")
+	}
+	rng := fault.NewRNG(20140610)
+	periods := []timebase.Macrotick{3, 4, 5, 6, 8, 10, 12}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(2)
+		tasks := make([]task.Periodic, 0, n)
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := timebase.Macrotick(1 + rng.Intn(2))
+			d := c + timebase.Macrotick(rng.Intn(int(p-c)+1))
+			phi := timebase.Macrotick(rng.Intn(int(p)))
+			tasks = append(tasks, task.Periodic{Name: "t", C: c, T: p, Phi: phi, D: d})
+		}
+		s, err := task.NewSet(tasks)
+		if err != nil {
+			continue // overloaded draw
+		}
+		a, err := NewAnalysis(s)
+		if err != nil {
+			continue // unschedulable draw
+		}
+		h := a.Hyperperiod()
+		if h > 150 {
+			continue // keep the brute force cheap
+		}
+		for tb := timebase.Macrotick(0); tb <= 2*h; tb += 1 + timebase.Macrotick(rng.Intn(3)) {
+			st := NewStealer(a)
+			got, err := st.Capacity(tb)
+			if err != nil {
+				t.Fatalf("trial %d: Capacity(%d): %v", trial, tb, err)
+			}
+			want := bruteForceCapacity(s, tb, a.Window()+tb)
+			if got != want {
+				t.Fatalf("trial %d (%+v): Capacity(%d) = %d, brute force %d",
+					trial, tasks, tb, got, want)
+			}
+		}
+	}
+}
+
+// Property: Capacity is monotone in the horizon and never exceeds the wall
+// clock.
+func TestCapacityMonotoneProperty(t *testing.T) {
+	st := twoTaskStealer(t)
+	f := func(raw1, raw2 uint16) bool {
+		t1 := timebase.Macrotick(raw1 % 200)
+		t2 := timebase.Macrotick(raw2 % 200)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		c1, err1 := st.Capacity(t1)
+		c2, err2 := st.Capacity(t2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 <= c2 && c1 <= t1 && c2 <= t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: admitting a set of hard jobs and then actually serving them via
+// the greedy steal schedule never exhausts more than the capacity — i.e.
+// the sum of admitted work by any admitted deadline is within Capacity.
+func TestAdmissionWithinCapacityProperty(t *testing.T) {
+	rng := fault.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		st := newStealer(t, []task.Periodic{
+			{Name: "t1", C: 2, T: 5, D: 5},
+			{Name: "t2", C: 3, T: 10, D: 10},
+		})
+		type admitted struct {
+			d timebase.Macrotick
+			p timebase.Macrotick
+		}
+		var adm []admitted
+		for i := 0; i < 8; i++ {
+			j := task.Aperiodic{
+				Name:    "j",
+				Arrival: 0,
+				P:       timebase.Macrotick(1 + rng.Intn(4)),
+				D:       timebase.Macrotick(5 + rng.Intn(30)),
+			}
+			if err := st.AdmitHard(j); err == nil {
+				adm = append(adm, admitted{d: j.D, p: j.P})
+			}
+		}
+		// Check the invariant for every admitted deadline.
+		for _, a := range adm {
+			var due timebase.Macrotick
+			for _, b := range adm {
+				if b.d <= a.d {
+					due += b.p
+				}
+			}
+			capacity, err := st.Capacity(a.d)
+			if err != nil {
+				t.Fatalf("Capacity: %v", err)
+			}
+			if due > capacity {
+				t.Fatalf("trial %d: %d units due by %d exceed capacity %d",
+					trial, due, a.d, capacity)
+			}
+		}
+	}
+}
+
+// Property: the immediately available slack never exceeds the capacity to
+// any future horizon at least that far out (Available is what can be used
+// right now; Capacity can only add to it).
+func TestAvailableWithinCapacityProperty(t *testing.T) {
+	st := twoTaskStealer(t)
+	avail, err := st.Available()
+	if err != nil {
+		t.Fatalf("Available: %v", err)
+	}
+	for _, tb := range []timebase.Macrotick{avail, avail + 1, 10, 20, 50, 100} {
+		if tb < avail {
+			continue
+		}
+		capacity, err := st.Capacity(tb)
+		if err != nil {
+			t.Fatalf("Capacity(%d): %v", tb, err)
+		}
+		if capacity < avail && tb >= avail {
+			t.Fatalf("Capacity(%d) = %d below Available %d", tb, capacity, avail)
+		}
+	}
+}

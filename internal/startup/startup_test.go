@@ -1,0 +1,173 @@
+package startup
+
+import (
+	"errors"
+	"testing"
+)
+
+func cluster(coldstarters, others int) []Node {
+	var nodes []Node
+	for i := 0; i < coldstarters; i++ {
+		nodes = append(nodes, Node{Name: name("cold", i), Coldstart: true})
+	}
+	for i := 0; i < others; i++ {
+		nodes = append(nodes, Node{Name: name("node", i)})
+	}
+	return nodes
+}
+
+func name(prefix string, i int) string {
+	return prefix + "-" + string(rune('a'+i))
+}
+
+func TestStartupConverges(t *testing.T) {
+	rep, err := Simulate(Config{Nodes: cluster(3, 7), Seed: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(rep.JoinCycle) != 10 {
+		t.Fatalf("only %d of 10 nodes joined: %+v", len(rep.JoinCycle), rep.JoinCycle)
+	}
+	if rep.Leader == "" {
+		t.Error("no leader elected")
+	}
+	if rep.StartupCycles <= 0 || rep.StartupCycles > 200 {
+		t.Errorf("StartupCycles = %d", rep.StartupCycles)
+	}
+	// The leader must be among the first to reach normal operation.
+	leaderJoin := rep.JoinCycle[rep.Leader]
+	for n, c := range rep.JoinCycle {
+		if c < leaderJoin-4 {
+			t.Errorf("node %s joined at %d, before leader at %d", n, c, leaderJoin)
+		}
+	}
+}
+
+func TestStartupRequiresTwoColdstarters(t *testing.T) {
+	if _, err := Simulate(Config{Nodes: cluster(1, 5), Seed: 1}); !errors.Is(err, ErrNoColdstarters) {
+		t.Fatalf("one coldstarter: %v, want ErrNoColdstarters", err)
+	}
+	nodes := cluster(3, 3)
+	nodes[0].Dead = true
+	nodes[1].Dead = true
+	if _, err := Simulate(Config{Nodes: nodes, Seed: 1}); !errors.Is(err, ErrNoColdstarters) {
+		t.Fatalf("two dead coldstarters: %v, want ErrNoColdstarters", err)
+	}
+}
+
+func TestStartupSurvivesDeadColdstarter(t *testing.T) {
+	nodes := cluster(3, 5)
+	nodes[2].Dead = true
+	rep, err := Simulate(Config{Nodes: nodes, Seed: 4})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(rep.JoinCycle) != 7 { // 2 live coldstarters + 5 others
+		t.Fatalf("joined = %d, want 7: %+v", len(rep.JoinCycle), rep.JoinCycle)
+	}
+	if _, joined := rep.JoinCycle[nodes[2].Name]; joined {
+		t.Error("dead node reported as joined")
+	}
+}
+
+func TestStartupResolvesCASCollisions(t *testing.T) {
+	// Force collisions: many coldstarters, tiny listen range.
+	collisionSeen := false
+	for seed := uint64(0); seed < 30; seed++ {
+		rep, err := Simulate(Config{
+			Nodes:       cluster(6, 0),
+			ListenRange: 2,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.CASCollisions > 0 {
+			collisionSeen = true
+		}
+		if len(rep.JoinCycle) != 6 {
+			t.Fatalf("seed %d: %d joined", seed, len(rep.JoinCycle))
+		}
+	}
+	if !collisionSeen {
+		t.Error("no CAS collision observed across 30 seeds with a tiny listen range")
+	}
+}
+
+func TestStartupDeterministic(t *testing.T) {
+	a, err := Simulate(Config{Nodes: cluster(3, 4), Seed: 9})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, err := Simulate(Config{Nodes: cluster(3, 4), Seed: 9})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if a.StartupCycles != b.StartupCycles || a.Leader != b.Leader {
+		t.Error("same-seed startups differ")
+	}
+	for n, c := range a.JoinCycle {
+		if b.JoinCycle[n] != c {
+			t.Errorf("node %s joined at %d vs %d", n, c, b.JoinCycle[n])
+		}
+	}
+}
+
+func TestStartupValidation(t *testing.T) {
+	if _, err := Simulate(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty cluster: %v", err)
+	}
+}
+
+func TestWakeupWakesEveryone(t *testing.T) {
+	nodes := []WakeupNode{
+		{Name: "w1", CanWake: true},
+		{Name: "w2", CanWake: true, WakeDelay: 2},
+		{Name: "n1", WakeDelay: 3},
+		{Name: "n2", WakeDelay: 1},
+	}
+	rep, err := SimulateWakeup(WakeupConfig{Nodes: nodes, Seed: 1})
+	if err != nil {
+		t.Fatalf("SimulateWakeup: %v", err)
+	}
+	if rep.Initiator != "w1" && rep.Initiator != "w2" {
+		t.Errorf("initiator = %q", rep.Initiator)
+	}
+	if len(rep.AwakeCycle) != 4 {
+		t.Fatalf("awake = %v", rep.AwakeCycle)
+	}
+	if rep.AwakeCycle["n1"] < 3 {
+		t.Errorf("n1 woke at %d, before its 3-cycle delay", rep.AwakeCycle["n1"])
+	}
+	if rep.WakeupCycles < 3 {
+		t.Errorf("WakeupCycles = %d", rep.WakeupCycles)
+	}
+}
+
+func TestWakeupSkipsDeadNodes(t *testing.T) {
+	nodes := []WakeupNode{
+		{Name: "w1", CanWake: true},
+		{Name: "dead", Dead: true},
+		{Name: "n1", WakeDelay: 1},
+	}
+	rep, err := SimulateWakeup(WakeupConfig{Nodes: nodes, Seed: 2})
+	if err != nil {
+		t.Fatalf("SimulateWakeup: %v", err)
+	}
+	if _, awake := rep.AwakeCycle["dead"]; awake {
+		t.Error("dead node woke")
+	}
+	if len(rep.AwakeCycle) != 2 {
+		t.Errorf("awake = %v", rep.AwakeCycle)
+	}
+}
+
+func TestWakeupErrors(t *testing.T) {
+	if _, err := SimulateWakeup(WakeupConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty = %v", err)
+	}
+	noWaker := []WakeupNode{{Name: "n1"}, {Name: "w", CanWake: true, Dead: true}}
+	if _, err := SimulateWakeup(WakeupConfig{Nodes: noWaker}); !errors.Is(err, ErrNoColdstarters) {
+		t.Errorf("no waker = %v", err)
+	}
+}

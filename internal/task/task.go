@@ -1,0 +1,272 @@
+// Package task provides the real-time task model underlying the paper's
+// scheduling analysis (Section III-A).
+//
+// The transmission of FlexRay segments is modelled as three task classes:
+//
+//   - static segments   → hard-deadline periodic tasks τ_i = (C_i, T_i, φ_i, d_i)
+//   - retransmissions   → hard-deadline aperiodic tasks J_k = (α_k, p_k, D_k)
+//   - dynamic segments  → soft-deadline aperiodic tasks (D_k = ∞, minimize
+//     response time)
+//
+// Periodic tasks are assigned fixed priorities deadline-monotonically (the
+// paper: "tasks with smaller value of d_i are allocated higher priority").
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Errors returned by validation and analysis.
+var (
+	// ErrBadTask is returned for tasks with inconsistent parameters.
+	ErrBadTask = errors.New("task: invalid task parameters")
+	// ErrOverload is returned when total utilization exceeds 1.
+	ErrOverload = errors.New("task: utilization exceeds 1")
+	// ErrHyperperiod is returned when the hyperperiod overflows.
+	ErrHyperperiod = errors.New("task: hyperperiod overflow")
+)
+
+// Periodic is a hard-deadline periodic task.  Its k-th job (k ≥ 1) is
+// released at φ + (k−1)·T and must finish C units of work by its absolute
+// deadline φ + (k−1)·T + D.
+type Periodic struct {
+	// Name labels the task for tracing.
+	Name string
+	// C is the worst-case processing requirement per job, in macroticks.
+	C timebase.Macrotick
+	// T is the period in macroticks.
+	T timebase.Macrotick
+	// Phi is the release offset of the first job (0 ≤ Phi < T).
+	Phi timebase.Macrotick
+	// D is the relative deadline (0 < D ≤ T).
+	D timebase.Macrotick
+}
+
+// Validate checks the task parameters.
+func (p Periodic) Validate() error {
+	switch {
+	case p.C <= 0:
+		return fmt.Errorf("%w: %q C=%d", ErrBadTask, p.Name, p.C)
+	case p.T <= 0:
+		return fmt.Errorf("%w: %q T=%d", ErrBadTask, p.Name, p.T)
+	case p.D <= 0 || p.D > p.T:
+		return fmt.Errorf("%w: %q D=%d, T=%d", ErrBadTask, p.Name, p.D, p.T)
+	case p.Phi < 0 || p.Phi >= p.T:
+		return fmt.Errorf("%w: %q Phi=%d, T=%d", ErrBadTask, p.Name, p.Phi, p.T)
+	case p.C > p.D:
+		return fmt.Errorf("%w: %q C=%d > D=%d", ErrBadTask, p.Name, p.C, p.D)
+	}
+	return nil
+}
+
+// Utilization returns C/T.
+func (p Periodic) Utilization() float64 {
+	return float64(p.C) / float64(p.T)
+}
+
+// Release returns the release time of job k (1-based).
+func (p Periodic) Release(k int64) timebase.Macrotick {
+	return p.Phi + timebase.Macrotick(k-1)*p.T
+}
+
+// AbsDeadline returns the absolute deadline of job k (1-based).
+func (p Periodic) AbsDeadline(k int64) timebase.Macrotick {
+	return p.Release(k) + p.D
+}
+
+// NextRelease returns the earliest job release at or after t.
+func (p Periodic) NextRelease(t timebase.Macrotick) timebase.Macrotick {
+	if t <= p.Phi {
+		return p.Phi
+	}
+	k := (t - p.Phi + p.T - 1) / p.T
+	return p.Phi + k*p.T
+}
+
+// Set is a fixed-priority periodic task set.  Index order is priority order:
+// Tasks[0] has the highest priority (priority level 1 in the paper's
+// numbering).
+type Set struct {
+	// Tasks in decreasing priority.
+	Tasks []Periodic
+}
+
+// NewSet validates the tasks and assigns deadline-monotonic priorities:
+// smaller relative deadline → higher priority, ties broken by smaller
+// period, then by name for determinism.  The input slice is not modified.
+func NewSet(tasks []Periodic) (*Set, error) {
+	sorted := make([]Periodic, len(tasks))
+	copy(sorted, tasks)
+	var u float64
+	for _, t := range sorted {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		u += t.Utilization()
+	}
+	if u > 1 {
+		return nil, fmt.Errorf("%w: %.3f", ErrOverload, u)
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.D != b.D {
+			return a.D < b.D
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.Name < b.Name
+	})
+	return &Set{Tasks: sorted}, nil
+}
+
+// Utilization returns the total utilization Σ C_i/T_i.
+func (s *Set) Utilization() float64 {
+	var u float64
+	for _, t := range s.Tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// MaxOffset returns the largest release offset in the set.
+func (s *Set) MaxOffset() timebase.Macrotick {
+	var m timebase.Macrotick
+	for _, t := range s.Tasks {
+		if t.Phi > m {
+			m = t.Phi
+		}
+	}
+	return m
+}
+
+// Hyperperiod returns the least common multiple of all periods.  It fails if
+// the LCM overflows a practical bound (2^40 macroticks ≈ 12 days at 1µs).
+func (s *Set) Hyperperiod() (timebase.Macrotick, error) {
+	const bound = 1 << 40
+	h := timebase.Macrotick(1)
+	for _, t := range s.Tasks {
+		h = lcm(h, t.T)
+		if h <= 0 || h > bound {
+			return 0, fmt.Errorf("%w: exceeds %d", ErrHyperperiod, int64(bound))
+		}
+	}
+	return h, nil
+}
+
+// ResponseTimes computes worst-case response times with the standard
+// fixed-priority recurrence R_i = C_i + Σ_{j: higher} ⌈R_i/T_j⌉·C_j
+// (offsets ignored — a safe over-approximation).  It returns one response
+// time per task in priority order; a response time of -1 marks a task whose
+// recurrence exceeded its deadline (unschedulable).
+func (s *Set) ResponseTimes() []timebase.Macrotick {
+	out := make([]timebase.Macrotick, len(s.Tasks))
+	for i, ti := range s.Tasks {
+		r := ti.C
+		for {
+			next := ti.C
+			for j := 0; j < i; j++ {
+				tj := s.Tasks[j]
+				next += ceilDiv(r, tj.T) * tj.C
+			}
+			if next == r {
+				out[i] = r
+				break
+			}
+			r = next
+			if r > ti.D {
+				out[i] = -1
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Schedulable reports whether every task meets its deadline under the
+// response-time analysis.
+func (s *Set) Schedulable() bool {
+	for _, r := range s.ResponseTimes() {
+		if r < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Aperiodic is an aperiodic job: a retransmission (hard deadline) or a
+// dynamic-segment message (soft deadline).
+type Aperiodic struct {
+	// Name labels the job for tracing.
+	Name string
+	// Arrival is the absolute arrival time α_k.
+	Arrival timebase.Macrotick
+	// P is the processing requirement p_k in macroticks.
+	P timebase.Macrotick
+	// D is the absolute deadline.  Soft jobs use NoDeadline.
+	D timebase.Macrotick
+}
+
+// NoDeadline marks a soft aperiodic job (minimize response time instead).
+const NoDeadline = timebase.Macrotick(math.MaxInt64)
+
+// Hard reports whether the job has a hard deadline.
+func (a Aperiodic) Hard() bool { return a.D != NoDeadline }
+
+// Validate checks the job parameters.
+func (a Aperiodic) Validate() error {
+	if a.P <= 0 {
+		return fmt.Errorf("%w: aperiodic %q P=%d", ErrBadTask, a.Name, a.P)
+	}
+	if a.Arrival < 0 {
+		return fmt.Errorf("%w: aperiodic %q arrival %d", ErrBadTask, a.Name, a.Arrival)
+	}
+	if a.Hard() && a.D <= a.Arrival {
+		return fmt.Errorf("%w: aperiodic %q deadline %d ≤ arrival %d",
+			ErrBadTask, a.Name, a.D, a.Arrival)
+	}
+	return nil
+}
+
+func gcd(a, b timebase.Macrotick) timebase.Macrotick {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b timebase.Macrotick) timebase.Macrotick {
+	return a / gcd(a, b) * b
+}
+
+func ceilDiv(a, b timebase.Macrotick) timebase.Macrotick {
+	return (a + b - 1) / b
+}
+
+// LiuLaylandBound returns the classic rate-monotonic utilization bound
+// n·(2^{1/n} − 1): any implicit-deadline periodic set with utilization at or
+// below it is schedulable under fixed priorities.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// SchedulableByUtilization reports whether the set passes the Liu–Layland
+// sufficient test.  It only applies to implicit deadlines (D == T for every
+// task); the boolean `applicable` is false otherwise and the caller should
+// use ResponseTimes instead.
+func (s *Set) SchedulableByUtilization() (schedulable, applicable bool) {
+	for _, t := range s.Tasks {
+		if t.D != t.T {
+			return false, false
+		}
+	}
+	return s.Utilization() <= LiuLaylandBound(len(s.Tasks)), true
+}

@@ -1,0 +1,346 @@
+package task
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+func TestPeriodicValidate(t *testing.T) {
+	ok := Periodic{Name: "ok", C: 2, T: 10, Phi: 3, D: 8}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Periodic)
+	}{
+		{"zero C", func(p *Periodic) { p.C = 0 }},
+		{"zero T", func(p *Periodic) { p.T = 0 }},
+		{"zero D", func(p *Periodic) { p.D = 0 }},
+		{"D > T", func(p *Periodic) { p.D = 11 }},
+		{"negative Phi", func(p *Periodic) { p.Phi = -1 }},
+		{"Phi >= T", func(p *Periodic) { p.Phi = 10 }},
+		{"C > D", func(p *Periodic) { p.C = 9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := ok
+			tt.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, ErrBadTask) {
+				t.Fatalf("Validate() = %v, want ErrBadTask", err)
+			}
+		})
+	}
+}
+
+func TestPeriodicJobTimes(t *testing.T) {
+	p := Periodic{Name: "p", C: 1, T: 10, Phi: 3, D: 7}
+	if got := p.Release(1); got != 3 {
+		t.Errorf("Release(1) = %d, want 3", got)
+	}
+	if got := p.Release(4); got != 33 {
+		t.Errorf("Release(4) = %d, want 33", got)
+	}
+	if got := p.AbsDeadline(2); got != 20 {
+		t.Errorf("AbsDeadline(2) = %d, want 20", got)
+	}
+	tests := []struct {
+		t, want timebase.Macrotick
+	}{
+		{0, 3}, {3, 3}, {4, 13}, {13, 13}, {14, 23},
+	}
+	for _, tt := range tests {
+		if got := p.NextRelease(tt.t); got != tt.want {
+			t.Errorf("NextRelease(%d) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestNewSetAssignsDeadlineMonotonic(t *testing.T) {
+	s, err := NewSet([]Periodic{
+		{Name: "slow", C: 1, T: 100, D: 50},
+		{Name: "fast", C: 1, T: 10, D: 5},
+		{Name: "mid", C: 1, T: 20, D: 20},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	want := []string{"fast", "mid", "slow"}
+	for i, w := range want {
+		if s.Tasks[i].Name != w {
+			t.Errorf("priority %d = %q, want %q", i, s.Tasks[i].Name, w)
+		}
+	}
+}
+
+func TestNewSetTieBreaks(t *testing.T) {
+	s, err := NewSet([]Periodic{
+		{Name: "b", C: 1, T: 20, D: 10},
+		{Name: "a", C: 1, T: 20, D: 10},
+		{Name: "c", C: 1, T: 10, D: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	// Same deadline: smaller period first; then name.
+	want := []string{"c", "a", "b"}
+	for i, w := range want {
+		if s.Tasks[i].Name != w {
+			t.Errorf("priority %d = %q, want %q", i, s.Tasks[i].Name, w)
+		}
+	}
+}
+
+func TestNewSetRejectsOverload(t *testing.T) {
+	_, err := NewSet([]Periodic{
+		{Name: "a", C: 6, T: 10, D: 10},
+		{Name: "b", C: 5, T: 10, D: 10},
+	})
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("NewSet = %v, want ErrOverload", err)
+	}
+}
+
+func TestSetUtilizationAndOffset(t *testing.T) {
+	s, err := NewSet([]Periodic{
+		{Name: "a", C: 2, T: 10, Phi: 4, D: 10},
+		{Name: "b", C: 5, T: 20, Phi: 7, D: 20},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	if got := s.Utilization(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("Utilization() = %g, want 0.45", got)
+	}
+	if got := s.MaxOffset(); got != 7 {
+		t.Errorf("MaxOffset() = %d, want 7", got)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s, err := NewSet([]Periodic{
+		{Name: "a", C: 1, T: 8, D: 8},
+		{Name: "b", C: 1, T: 12, D: 12},
+		{Name: "c", C: 1, T: 10, D: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	h, err := s.Hyperperiod()
+	if err != nil {
+		t.Fatalf("Hyperperiod: %v", err)
+	}
+	if h != 120 {
+		t.Errorf("Hyperperiod() = %d, want 120", h)
+	}
+}
+
+func TestHyperperiodOverflow(t *testing.T) {
+	// Large coprime periods blow past the bound.
+	s, err := NewSet([]Periodic{
+		{Name: "a", C: 1, T: 1<<20 + 7, D: 1<<20 + 7},
+		{Name: "b", C: 1, T: 1<<20 + 21, D: 1<<20 + 21},
+		{Name: "c", C: 1, T: 1<<20 + 33, D: 1<<20 + 33},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	if _, err := s.Hyperperiod(); !errors.Is(err, ErrHyperperiod) {
+		t.Fatalf("Hyperperiod = %v, want ErrHyperperiod", err)
+	}
+}
+
+func TestResponseTimesTextbook(t *testing.T) {
+	// Classic example: C/T = 1/4, 2/6, 3/12 with implicit deadlines.
+	// R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3; R3 = 3 + ceil(R/4)+2*ceil(R/6):
+	// R3 = 3+1+2=6 -> 3+2+2=7 -> 3+2+4=9 -> 3+3+4=10 -> 3+3+4=10. R3=10.
+	s, err := NewSet([]Periodic{
+		{Name: "t1", C: 1, T: 4, D: 4},
+		{Name: "t2", C: 2, T: 6, D: 6},
+		{Name: "t3", C: 3, T: 12, D: 12},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	got := s.ResponseTimes()
+	want := []timebase.Macrotick{1, 3, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("R[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if !s.Schedulable() {
+		t.Error("Schedulable() = false, want true")
+	}
+}
+
+func TestResponseTimesUnschedulable(t *testing.T) {
+	// Second task cannot make its tight deadline under interference.
+	s, err := NewSet([]Periodic{
+		{Name: "hog", C: 3, T: 5, D: 4},
+		{Name: "victim", C: 2, T: 10, D: 4},
+	})
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	rts := s.ResponseTimes()
+	if rts[1] != -1 {
+		t.Errorf("victim response time = %d, want -1 (miss)", rts[1])
+	}
+	if s.Schedulable() {
+		t.Error("Schedulable() = true, want false")
+	}
+}
+
+func TestAperiodicValidate(t *testing.T) {
+	ok := Aperiodic{Name: "j", Arrival: 5, P: 3, D: 20}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if !ok.Hard() {
+		t.Error("Hard() = false for finite deadline")
+	}
+	soft := Aperiodic{Name: "s", Arrival: 0, P: 1, D: NoDeadline}
+	if err := soft.Validate(); err != nil {
+		t.Fatalf("soft Validate() = %v", err)
+	}
+	if soft.Hard() {
+		t.Error("Hard() = true for NoDeadline")
+	}
+	bad := []Aperiodic{
+		{Name: "p0", Arrival: 0, P: 0, D: 10},
+		{Name: "neg", Arrival: -1, P: 1, D: 10},
+		{Name: "dle", Arrival: 10, P: 1, D: 10},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); !errors.Is(err, ErrBadTask) {
+			t.Errorf("%q Validate() = %v, want ErrBadTask", b.Name, err)
+		}
+	}
+}
+
+// Property: NewSet output is a permutation of the input, sorted by
+// non-decreasing deadline.
+func TestNewSetOrderingProperty(t *testing.T) {
+	f := func(ds []uint8) bool {
+		if len(ds) == 0 || len(ds) > 10 {
+			return true
+		}
+		in := make([]Periodic, len(ds))
+		for i, d := range ds {
+			dl := timebase.Macrotick(d%50) + 1
+			in[i] = Periodic{Name: "t", C: 1, T: 1000, D: dl}
+		}
+		s, err := NewSet(in)
+		if err != nil {
+			// Only overload can fail here; with C/T = 1/1000 and ≤10
+			// tasks it cannot.
+			return false
+		}
+		if len(s.Tasks) != len(in) {
+			return false
+		}
+		for i := 1; i < len(s.Tasks); i++ {
+			if s.Tasks[i-1].D > s.Tasks[i].D {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: response times are at least C and no smaller than those of a
+// higher-priority subset (adding interference never helps).
+func TestResponseTimeBoundsProperty(t *testing.T) {
+	f := func(cs [4]uint8) bool {
+		tasks := make([]Periodic, 0, 4)
+		for i, c := range cs {
+			ci := timebase.Macrotick(c%5) + 1
+			ti := timebase.Macrotick(20 * (i + 1))
+			tasks = append(tasks, Periodic{Name: "t", C: ci, T: ti, D: ti})
+		}
+		s, err := NewSet(tasks)
+		if err != nil {
+			return true // overloaded: nothing to check
+		}
+		rts := s.ResponseTimes()
+		for i, r := range rts {
+			if r == -1 {
+				continue
+			}
+			if r < s.Tasks[i].C {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("LiuLaylandBound(1) = %g, want 1", got)
+	}
+	// n=2: 2(√2−1) ≈ 0.8284.
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284271247) > 1e-9 {
+		t.Errorf("LiuLaylandBound(2) = %g", got)
+	}
+	// Monotone decreasing toward ln 2.
+	prev := LiuLaylandBound(1)
+	for n := 2; n <= 50; n++ {
+		b := LiuLaylandBound(n)
+		if b >= prev {
+			t.Fatalf("bound not decreasing at n=%d", n)
+		}
+		prev = b
+	}
+	if prev < math.Ln2 {
+		t.Errorf("bound %g fell below ln2", prev)
+	}
+	if LiuLaylandBound(0) != 0 {
+		t.Error("LiuLaylandBound(0) != 0")
+	}
+}
+
+func TestSchedulableByUtilization(t *testing.T) {
+	ok, applicable := mustSet(t, []Periodic{
+		{Name: "a", C: 1, T: 4, D: 4},
+		{Name: "b", C: 1, T: 8, D: 8},
+	}).SchedulableByUtilization()
+	if !applicable || !ok {
+		t.Errorf("low-utilization implicit-deadline set: (%v, %v)", ok, applicable)
+	}
+	// Constrained deadlines: not applicable.
+	_, applicable = mustSet(t, []Periodic{
+		{Name: "a", C: 1, T: 4, D: 3},
+	}).SchedulableByUtilization()
+	if applicable {
+		t.Error("constrained deadlines reported applicable")
+	}
+	// Above the bound: the sufficient test fails (even though RTA may pass).
+	ok, applicable = mustSet(t, []Periodic{
+		{Name: "a", C: 3, T: 6, D: 6},
+		{Name: "b", C: 3, T: 9, D: 9},
+	}).SchedulableByUtilization()
+	if !applicable || ok {
+		t.Errorf("0.83-utilization pair passed the LL test: (%v, %v)", ok, applicable)
+	}
+}
+
+func mustSet(t *testing.T, tasks []Periodic) *Set {
+	t.Helper()
+	s, err := NewSet(tasks)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}

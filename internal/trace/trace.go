@@ -1,0 +1,196 @@
+// Package trace records bus events during a simulation — the software
+// equivalent of the bus analysis tool attached to the paper's testbed.  A
+// Recorder collects per-frame events (release, transmission start/end,
+// fault, retransmission, drop) that the metrics and experiment layers
+// consume, and can export them as JSON for offline inspection.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// EventKind classifies a bus event.
+type EventKind int
+
+// Bus event kinds.
+const (
+	// EventRelease marks a message instance becoming ready at its source.
+	EventRelease EventKind = iota + 1
+	// EventTxStart marks the start of a frame transmission.
+	EventTxStart
+	// EventTxEnd marks a successful frame transmission.
+	EventTxEnd
+	// EventFault marks a transmission corrupted by a transient fault.
+	EventFault
+	// EventRetransmit marks a retransmission attempt being scheduled.
+	EventRetransmit
+	// EventDrop marks an instance abandoned (deadline passed or
+	// retransmission budget exhausted).
+	EventDrop
+	// EventDeadlineMiss marks an instance delivered after its deadline.
+	EventDeadlineMiss
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRelease:
+		return "release"
+	case EventTxStart:
+		return "tx-start"
+	case EventTxEnd:
+		return "tx-end"
+	case EventFault:
+		return "fault"
+	case EventRetransmit:
+		return "retransmit"
+	case EventDrop:
+		return "drop"
+	case EventDeadlineMiss:
+		return "deadline-miss"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded bus event.
+type Event struct {
+	// Time is the macrotick timestamp.
+	Time timebase.Macrotick `json:"time"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// FrameID is the frame the event concerns.
+	FrameID int `json:"frameId"`
+	// Seq is the message instance sequence number.
+	Seq int64 `json:"seq"`
+	// Node is the transmitting node.
+	Node int `json:"node"`
+	// Channel is the channel involved (0 when not applicable).
+	Channel frame.Channel `json:"channel,omitempty"`
+	// Detail carries free-form context ("stolen-slot", "dynamic", ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events.  The zero value discards everything; use New
+// to record.  Recorder is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	enabled bool
+	events  []Event
+	counts  map[EventKind]int64
+}
+
+// New returns an enabled recorder.
+func New() *Recorder {
+	return &Recorder{enabled: true, counts: make(map[EventKind]int64)}
+}
+
+// Record appends an event.  A nil or zero-value recorder only counts kinds
+// if initialized; on the zero value it is a no-op, so call sites need no nil
+// checks.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counts == nil {
+		return
+	}
+	r.counts[e.Kind]++
+	if r.enabled {
+		r.events = append(r.events, e)
+	}
+}
+
+// Count returns how many events of the kind were recorded.
+func (r *Recorder) Count(k EventKind) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k]
+}
+
+// Events returns a copy of all recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Filter returns the recorded events matching the predicate.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON streams the events as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	events := r.Events()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}
+
+// Summary aggregates a recorder's events for quick inspection — the bus
+// analyzer's dashboard view.
+type Summary struct {
+	// Events counts all recorded events.
+	Events int
+	// ByKind counts events per kind.
+	ByKind map[EventKind]int64
+	// Frames counts transmission starts per frame ID.
+	Frames map[int]int64
+	// FaultsByFrame counts corrupted transmissions per frame ID.
+	FaultsByFrame map[int]int64
+}
+
+// Summarize builds a Summary from the recorded events.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{
+		ByKind:        make(map[EventKind]int64),
+		Frames:        make(map[int]int64),
+		FaultsByFrame: make(map[int]int64),
+	}
+	for _, e := range r.Events() {
+		s.Events++
+		s.ByKind[e.Kind]++
+		switch e.Kind {
+		case EventTxStart:
+			s.Frames[e.FrameID]++
+		case EventFault:
+			s.FaultsByFrame[e.FrameID]++
+		}
+	}
+	return s
+}
