@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race fuzz ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Short fuzz pass over the scenario-DSL parser (satellite of the fault
+# scenario engine); FUZZTIME can be raised for deeper runs.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/scenario/
+
+ci: vet build test race

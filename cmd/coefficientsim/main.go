@@ -20,6 +20,7 @@ import (
 	"github.com/flexray-go/coefficient/internal/experiment"
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/plot"
+	"github.com/flexray-go/coefficient/internal/scenario"
 )
 
 func main() {
@@ -32,9 +33,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt or all")
+		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation or all")
 		quick  = fs.Bool("quick", false, "shrink horizons/batches for a fast smoke run")
 		seed   = fs.Uint64("seed", 1, "deterministic seed for arrivals and fault injection")
+		scnArg = fs.String("scenario", "", "fault-scenario JSON file for the degradation experiment (default: built-in BER step + blackout)")
 		format = fs.String("format", "table", "output format: table, csv or json")
 		output = fs.String("output", "", "write to this file instead of stdout")
 		svgDir = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
@@ -55,13 +57,22 @@ func run(args []string) error {
 		w = f
 	}
 
+	var scn *scenario.Scenario
+	if *scnArg != "" {
+		s, err := scenario.Load(*scnArg)
+		if err != nil {
+			return err
+		}
+		scn = s
+	}
+
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt"}
+		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt", "degradation"}
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		tbl, chart, err := runOne(name, *quick, *seed)
+		tbl, chart, err := runOne(name, *quick, *seed, scn)
 		if err != nil {
 			return err
 		}
@@ -90,8 +101,16 @@ func writeSVG(dir, name string, chart *plot.Chart) error {
 	return chart.WriteSVG(f)
 }
 
-func runOne(name string, quick bool, seed uint64) (experiment.Table, *plot.Chart, error) {
+func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario) (experiment.Table, *plot.Chart, error) {
 	switch name {
+	case "degradation":
+		rows, err := experiment.Degradation(experiment.DegradationOptions{
+			Scenario: scn, Seed: seed, Quick: quick,
+		})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.DegradationTable(rows), nil, nil
 	case "fig1":
 		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
 			Scenario: experiment.BER7(), Seed: seed, Quick: quick,

@@ -28,6 +28,7 @@ package coefficient
 import (
 	"time"
 
+	"github.com/flexray-go/coefficient/internal/adapt"
 	"github.com/flexray-go/coefficient/internal/analysis"
 	"github.com/flexray-go/coefficient/internal/clocksync"
 	"github.com/flexray-go/coefficient/internal/core"
@@ -37,6 +38,7 @@ import (
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/nm"
 	"github.com/flexray-go/coefficient/internal/reliability"
+	"github.com/flexray-go/coefficient/internal/scenario"
 	"github.com/flexray-go/coefficient/internal/schedule"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/sim"
@@ -370,6 +372,57 @@ func SuccessProbability(msgs []ReliabilityMessage, ber float64, unit time.Durati
 // probability.
 func FrameFailureProb(ber float64, bits int) (float64, error) {
 	return fault.FrameFailureProb(ber, bits)
+}
+
+// Fault scenarios and graceful degradation.
+type (
+	// FaultScenario is a deterministic scriptable fault timeline: BER
+	// steps/ramps and burst episodes per channel, channel blackouts, and
+	// node crash/recovery events.
+	FaultScenario = scenario.Scenario
+	// ScenarioChannel is the fault timeline of one channel.
+	ScenarioChannel = scenario.Channel
+	// ScenarioStep, ScenarioRamp, ScenarioBurst and ScenarioWindow are the
+	// per-channel timeline elements.
+	ScenarioStep   = scenario.Step
+	ScenarioRamp   = scenario.Ramp
+	ScenarioBurst  = scenario.Burst
+	ScenarioWindow = scenario.Window
+	// ScenarioNodeEvent is one node crash (and optional recovery).
+	ScenarioNodeEvent = scenario.NodeEvent
+	// ScenarioDuration unmarshals from duration strings or nanoseconds.
+	ScenarioDuration = scenario.Duration
+	// AdaptOptions tunes the adaptive reliability controller.
+	AdaptOptions = adapt.Options
+	// AdaptiveGauges reports the controller's activity in a Report.
+	AdaptiveGauges = metrics.AdaptiveGauges
+	// DegradationOptions configures the graceful-degradation experiment.
+	DegradationOptions = experiment.DegradationOptions
+	// DegradationRow is one scheduler variant's degradation outcome.
+	DegradationRow = experiment.DegradationRow
+)
+
+// ParseScenario decodes and validates a fault-scenario document.
+func ParseScenario(data []byte) (*FaultScenario, error) { return scenario.Parse(data) }
+
+// LoadScenario reads and parses a fault-scenario file.
+func LoadScenario(path string) (*FaultScenario, error) { return scenario.Load(path) }
+
+// DefaultDegradationScenario builds the stock BER-step-plus-blackout
+// timeline over the given horizon.
+func DefaultDegradationScenario(horizon time.Duration) *FaultScenario {
+	return experiment.DefaultDegradationScenario(horizon)
+}
+
+// DegradationExperiment compares FSPEC, static CoEfficient and adaptive
+// CoEfficient under a fault scenario.
+func DegradationExperiment(opts DegradationOptions) ([]DegradationRow, error) {
+	return experiment.Degradation(opts)
+}
+
+// DegradationTable renders degradation rows as an aligned text table.
+func DegradationTable(rows []DegradationRow) ExperimentTable {
+	return experiment.DegradationTable(rows)
 }
 
 // ScenarioBER7 and ScenarioBER9 return the paper's two evaluation settings.

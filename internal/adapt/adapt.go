@@ -1,0 +1,276 @@
+// Package adapt implements the online half of graceful degradation: a
+// per-channel frame-error-rate estimator fed from transmission outcomes,
+// and a controller that decides when the observed error rate has diverged
+// far enough from the planned bit error rate that the differentiated
+// retransmission vector k_z must be recomputed (see internal/reliability),
+// and when a channel looks blacked out and traffic should fail over to the
+// other channel.
+//
+// The paper computes k_z once, offline, against a single design-time BER;
+// real automotive channels drift (EMI bursts, connector degradation,
+// blackouts).  The estimator inverts the paper's fault model: from an
+// observed frame error rate p over frames of ~W bits, the equivalent BER
+// is 1 − (1−p)^{1/W}, which is comparable against the plan's BER.
+package adapt
+
+import (
+	"math"
+
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Options tunes the estimator and controller.  Zero values select the
+// documented defaults.
+type Options struct {
+	// Window is the observation count at which the per-channel counters
+	// are halved (exponential forgetting).  Default 512.
+	Window int
+	// MinSamples is the number of observations required on a channel
+	// before its estimate is trusted.  Default 64.
+	MinSamples int
+	// MinFaults is the number of (decayed) faults required in the window
+	// before an up-replan may trigger, guarding against a single unlucky
+	// frame at a healthy BER.  Default 3.
+	MinFaults float64
+	// DivergenceFactor triggers a replan when the observed equivalent BER
+	// exceeds factor × planned BER, or falls below planned BER / factor.
+	// Default 4.
+	DivergenceFactor float64
+	// Cooldown is the minimum macrotick gap between replans.  Default 0
+	// (callers usually set it from the cycle length; the controller then
+	// uses 10000 macroticks).
+	Cooldown timebase.Macrotick
+	// BlackoutAfter consecutive corrupted transmissions mark a channel
+	// suspect (failover).  Default 8.
+	BlackoutAfter int
+	// RecoverAfter consecutive successful transmissions clear the suspect
+	// mark.  Default 4.
+	RecoverAfter int
+}
+
+func (o *Options) fill() {
+	if o.Window <= 0 {
+		o.Window = 512
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 64
+	}
+	if o.MinFaults <= 0 {
+		o.MinFaults = 3
+	}
+	if o.DivergenceFactor <= 1 {
+		o.DivergenceFactor = 4
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 10_000
+	}
+	if o.BlackoutAfter <= 0 {
+		o.BlackoutAfter = 8
+	}
+	if o.RecoverAfter <= 0 {
+		o.RecoverAfter = 4
+	}
+}
+
+// channelState is the estimator state of one channel.
+type channelState struct {
+	// total and faults are decayed observation counters.
+	total, faults float64
+	// bitsSum decays alongside total: bitsSum/total is the mean wire size.
+	bitsSum float64
+	// samples counts raw observations (never decayed).
+	samples int64
+	// consecFail / consecOK drive blackout suspicion.
+	consecFail, consecOK int
+	suspect              bool
+}
+
+// Estimator tracks windowed frame-error rates per channel.  It is not
+// safe for concurrent use; the simulator invokes schedulers serially.
+type Estimator struct {
+	opts  Options
+	chans map[frame.Channel]*channelState
+}
+
+// NewEstimator returns an estimator with the given options.
+func NewEstimator(opts Options) *Estimator {
+	opts.fill()
+	return &Estimator{opts: opts, chans: make(map[frame.Channel]*channelState)}
+}
+
+func (e *Estimator) state(ch frame.Channel) *channelState {
+	st, ok := e.chans[ch]
+	if !ok {
+		st = &channelState{}
+		e.chans[ch] = st
+	}
+	return st
+}
+
+// Observe feeds one transmission outcome: the channel it used, its wire
+// size in bits, and whether it arrived uncorrupted.
+func (e *Estimator) Observe(ch frame.Channel, bits int, ok bool) {
+	st := e.state(ch)
+	st.samples++
+	st.total++
+	st.bitsSum += float64(bits)
+	if !ok {
+		st.faults++
+		st.consecFail++
+		st.consecOK = 0
+		if st.consecFail >= e.opts.BlackoutAfter {
+			st.suspect = true
+		}
+	} else {
+		st.consecOK++
+		st.consecFail = 0
+		if st.suspect && st.consecOK >= e.opts.RecoverAfter {
+			st.suspect = false
+			// The window is dominated by the outage, which says nothing
+			// about the channel's post-recovery BER: restart the estimate
+			// so the first replan after a blackout is not poisoned by it.
+			st.total, st.faults, st.bitsSum = 0, 0, 0
+		}
+	}
+	if st.total >= float64(e.opts.Window) {
+		st.total /= 2
+		st.faults /= 2
+		st.bitsSum /= 2
+	}
+}
+
+// FER returns the windowed frame-error-rate estimate of the channel, or 0
+// before any observation.
+func (e *Estimator) FER(ch frame.Channel) float64 {
+	st := e.state(ch)
+	if st.total <= 0 {
+		return 0
+	}
+	return st.faults / st.total
+}
+
+// Samples returns the raw observation count of the channel.
+func (e *Estimator) Samples(ch frame.Channel) int64 { return e.state(ch).samples }
+
+// Faults returns the decayed in-window fault count of the channel.
+func (e *Estimator) Faults(ch frame.Channel) float64 { return e.state(ch).faults }
+
+// Suspect reports whether the channel currently looks blacked out.
+func (e *Estimator) Suspect(ch frame.Channel) bool { return e.state(ch).suspect }
+
+// EquivalentBER inverts the paper's fault model p = 1 − (1−BER)^W at the
+// channel's mean observed frame size: BER = 1 − (1−p)^{1/W}.  Returns 0
+// before any observation or at FER 0, and 1 at FER ≥ 1.
+func (e *Estimator) EquivalentBER(ch frame.Channel) float64 {
+	st := e.state(ch)
+	if st.total <= 0 || st.bitsSum <= 0 {
+		return 0
+	}
+	p := st.faults / st.total
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	meanBits := st.bitsSum / st.total
+	if meanBits < 1 {
+		meanBits = 1
+	}
+	// 1 - (1-p)^(1/W) via expm1/log1p for precision at small p.
+	return -math.Expm1(math.Log1p(-p) / meanBits)
+}
+
+// Controller decides replans from the estimator's view of the primary
+// channel.  It never plans below the design BER: the offline plan is the
+// floor the system returns to when the channel heals.
+type Controller struct {
+	opts      Options
+	est       *Estimator
+	designBER float64
+	planBER   float64
+	lastAt    timebase.Macrotick
+	replanned bool
+}
+
+// NewController returns a controller around a fresh estimator.  designBER
+// is the BER the offline plan was computed against.
+func NewController(opts Options, designBER float64) *Controller {
+	opts.fill()
+	return &Controller{
+		opts:      opts,
+		est:       NewEstimator(opts),
+		designBER: designBER,
+		planBER:   designBER,
+	}
+}
+
+// Estimator returns the controller's estimator.
+func (c *Controller) Estimator() *Estimator { return c.est }
+
+// Observe feeds one transmission outcome.
+func (c *Controller) Observe(ch frame.Channel, bits int, ok bool) {
+	c.est.Observe(ch, bits, ok)
+}
+
+// PlanBER returns the BER the current plan is computed at.
+func (c *Controller) PlanBER() float64 { return c.planBER }
+
+// Suspect reports whether the channel currently looks blacked out.
+func (c *Controller) Suspect(ch frame.Channel) bool { return c.est.Suspect(ch) }
+
+// Degraded reports whether the channel's observed equivalent BER has
+// diverged above the design BER by the divergence factor (with the same
+// min-samples and min-faults guards as replanning).  Schedulers use this to
+// route retransmission copies towards the healthier channel: a proactive
+// copy is burned once transmitted, so placing it on a channel known to be
+// degraded squanders the reliability the plan paid for.
+func (c *Controller) Degraded(ch frame.Channel) bool {
+	if c.est.Samples(ch) < int64(c.opts.MinSamples) || c.est.Faults(ch) < c.opts.MinFaults {
+		return false
+	}
+	return c.est.EquivalentBER(ch) > c.designBER*c.opts.DivergenceFactor
+}
+
+// ReplanBER returns the BER to replan at and true when the observed error
+// rate on the primary channel has diverged from the plan BER by more than
+// the divergence factor (respecting min-samples, min-faults for upward
+// moves, and the replan cooldown).
+func (c *Controller) ReplanBER(primary frame.Channel, now timebase.Macrotick) (float64, bool) {
+	if c.replanned && now-c.lastAt < c.opts.Cooldown {
+		return 0, false
+	}
+	if c.est.Samples(primary) < int64(c.opts.MinSamples) {
+		return 0, false
+	}
+	obs := c.est.EquivalentBER(primary)
+	if obs >= 1 {
+		// A fully dead channel is the failover path's job, not the
+		// planner's: no finite k_z helps at FER 1.
+		return 0, false
+	}
+	if obs > c.planBER*c.opts.DivergenceFactor {
+		if c.est.Faults(primary) < c.opts.MinFaults {
+			return 0, false
+		}
+		return obs, true
+	}
+	if c.planBER > c.designBER && obs < c.planBER/c.opts.DivergenceFactor {
+		next := obs
+		if next < c.designBER {
+			next = c.designBER
+		}
+		if next != c.planBER {
+			return next, true
+		}
+	}
+	return 0, false
+}
+
+// NotifyReplan records that the caller installed a plan at newBER.
+func (c *Controller) NotifyReplan(newBER float64, now timebase.Macrotick) {
+	c.planBER = newBER
+	c.lastAt = now
+	c.replanned = true
+}

@@ -1,0 +1,192 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/frame"
+)
+
+// feed pushes a deterministic outcome pattern: one fault every `every`
+// observations (every == 0 means all successes).
+func feed(e *Estimator, ch frame.Channel, bits, n, every int) {
+	for i := 1; i <= n; i++ {
+		ok := every == 0 || i%every != 0
+		e.Observe(ch, bits, ok)
+	}
+}
+
+func TestEstimatorFERConverges(t *testing.T) {
+	e := NewEstimator(Options{})
+	feed(e, frame.ChannelA, 500, 1000, 10) // FER 0.1 by construction
+	got := e.FER(frame.ChannelA)
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("FER = %g, want ≈0.1", got)
+	}
+	if e.FER(frame.ChannelB) != 0 {
+		t.Errorf("unobserved channel FER = %g, want 0", e.FER(frame.ChannelB))
+	}
+	if e.Samples(frame.ChannelA) != 1000 {
+		t.Errorf("Samples = %d, want 1000", e.Samples(frame.ChannelA))
+	}
+}
+
+func TestEstimatorWindowForgets(t *testing.T) {
+	e := NewEstimator(Options{Window: 128})
+	feed(e, frame.ChannelA, 500, 256, 2) // FER 0.5 era
+	feed(e, frame.ChannelA, 500, 1024, 0) // then a long healthy era
+	if got := e.FER(frame.ChannelA); got > 0.05 {
+		t.Errorf("FER = %g after healthy era, want near 0 (window must forget)", got)
+	}
+}
+
+// EquivalentBER must invert the fault model: feeding outcomes drawn from
+// p = FrameFailureProb(ber, W) recovers ber within sampling error.
+func TestEquivalentBERInvertsFaultModel(t *testing.T) {
+	const ber, bits = 2e-4, 1000
+	p, err := fault.FrameFailureProb(ber, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(Options{Window: 1 << 20}) // no decay for this check
+	every := int(math.Round(1 / p))
+	feed(e, frame.ChannelA, bits, 100*every, every)
+	got := e.EquivalentBER(frame.ChannelA)
+	if got < ber/2 || got > ber*2 {
+		t.Errorf("EquivalentBER = %g, want ≈%g", got, ber)
+	}
+}
+
+func TestSuspectDetectionAndRecovery(t *testing.T) {
+	e := NewEstimator(Options{BlackoutAfter: 8, RecoverAfter: 4})
+	feed(e, frame.ChannelA, 500, 7, 1) // 7 consecutive faults: not yet
+	if e.Suspect(frame.ChannelA) {
+		t.Fatal("suspect before BlackoutAfter consecutive faults")
+	}
+	e.Observe(frame.ChannelA, 500, false) // the 8th
+	if !e.Suspect(frame.ChannelA) {
+		t.Fatal("not suspect after BlackoutAfter consecutive faults")
+	}
+	// Successes clear it only after RecoverAfter in a row.
+	feed(e, frame.ChannelA, 500, 3, 0)
+	if !e.Suspect(frame.ChannelA) {
+		t.Fatal("suspect cleared too early")
+	}
+	e.Observe(frame.ChannelA, 500, true)
+	if e.Suspect(frame.ChannelA) {
+		t.Fatal("suspect not cleared after RecoverAfter successes")
+	}
+	// Recovery resets the window: the outage's faults must not poison the
+	// post-recovery estimate.
+	if got := e.FER(frame.ChannelA); got != 0 {
+		t.Errorf("FER = %g right after recovery, want 0 (window reset)", got)
+	}
+	if e.EquivalentBER(frame.ChannelA) != 0 {
+		t.Errorf("EquivalentBER nonzero right after recovery")
+	}
+}
+
+func TestSuspectInterruptedRecovery(t *testing.T) {
+	e := NewEstimator(Options{BlackoutAfter: 4, RecoverAfter: 4})
+	feed(e, frame.ChannelA, 500, 4, 1)
+	feed(e, frame.ChannelA, 500, 3, 0)
+	e.Observe(frame.ChannelA, 500, false) // fault interrupts the OK streak
+	feed(e, frame.ChannelA, 500, 3, 0)
+	if !e.Suspect(frame.ChannelA) {
+		t.Error("interrupted OK streak still cleared the suspect mark")
+	}
+}
+
+func TestControllerReplanTriggersOnDivergence(t *testing.T) {
+	const design = 1e-7
+	c := NewController(Options{MinSamples: 64, MinFaults: 3, Cooldown: 1000}, design)
+	// Healthy traffic: no replan.
+	for i := 0; i < 200; i++ {
+		c.Observe(frame.ChannelA, 500, true)
+	}
+	if _, ok := c.ReplanBER(frame.ChannelA, 0); ok {
+		t.Fatal("replan triggered on a healthy channel")
+	}
+	// Degraded era: FER ~0.2 on 500-bit frames, equivalent BER ~4.5e-4.
+	for i := 1; i <= 300; i++ {
+		c.Observe(frame.ChannelA, 500, i%5 != 0)
+	}
+	ber, ok := c.ReplanBER(frame.ChannelA, 0)
+	if !ok {
+		t.Fatal("no replan despite massive divergence")
+	}
+	if ber <= design {
+		t.Errorf("replan BER %g not above the design BER %g", ber, design)
+	}
+	c.NotifyReplan(ber, 0)
+	if c.PlanBER() != ber {
+		t.Errorf("PlanBER = %g, want %g", c.PlanBER(), ber)
+	}
+	// Cooldown suppresses an immediate follow-up.
+	if _, ok := c.ReplanBER(frame.ChannelA, 500); ok {
+		t.Error("replan inside the cooldown window")
+	}
+}
+
+func TestControllerReplansDownToDesignFloor(t *testing.T) {
+	const design = 1e-7
+	c := NewController(Options{Window: 256, MinSamples: 64, MinFaults: 3, Cooldown: 10}, design)
+	c.NotifyReplan(1e-4, 0) // pretend a degraded-era plan is installed
+	// A long healthy era decays the estimate to ~0.
+	for i := 0; i < 2000; i++ {
+		c.Observe(frame.ChannelA, 500, true)
+	}
+	ber, ok := c.ReplanBER(frame.ChannelA, 100)
+	if !ok {
+		t.Fatal("no down-replan after the channel healed")
+	}
+	if ber != design {
+		t.Errorf("down-replan BER = %g, want the design floor %g", ber, design)
+	}
+}
+
+func TestControllerDegraded(t *testing.T) {
+	const design = 1e-7
+	c := NewController(Options{MinSamples: 64, MinFaults: 3}, design)
+	// Too few samples: never degraded, whatever the few outcomes say.
+	for i := 0; i < 10; i++ {
+		c.Observe(frame.ChannelA, 500, false)
+	}
+	if c.Degraded(frame.ChannelA) {
+		t.Fatal("degraded below MinSamples")
+	}
+	for i := 1; i <= 300; i++ {
+		c.Observe(frame.ChannelA, 500, i%5 != 0)
+	}
+	if !c.Degraded(frame.ChannelA) {
+		t.Error("channel at FER 0.2 not degraded vs design BER 1e-7")
+	}
+	// The healthy channel stays clean.
+	for i := 0; i < 300; i++ {
+		c.Observe(frame.ChannelB, 500, true)
+	}
+	if c.Degraded(frame.ChannelB) {
+		t.Error("healthy channel reported degraded")
+	}
+}
+
+func TestControllerSuspectDelegates(t *testing.T) {
+	c := NewController(Options{BlackoutAfter: 4}, 1e-7)
+	for i := 0; i < 4; i++ {
+		c.Observe(frame.ChannelB, 500, false)
+	}
+	if !c.Suspect(frame.ChannelB) || c.Suspect(frame.ChannelA) {
+		t.Error("controller suspect view inconsistent with estimator")
+	}
+}
+
+func TestReplanBERIgnoresDeadChannel(t *testing.T) {
+	c := NewController(Options{MinSamples: 16, MinFaults: 1, BlackoutAfter: 1 << 30}, 1e-7)
+	for i := 0; i < 100; i++ {
+		c.Observe(frame.ChannelA, 500, false) // FER 1: equivalent BER 1
+	}
+	if _, ok := c.ReplanBER(frame.ChannelA, 0); ok {
+		t.Error("replan triggered at FER 1; that is failover's job")
+	}
+}

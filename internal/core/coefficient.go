@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/flexray-go/coefficient/internal/adapt"
 	"github.com/flexray-go/coefficient/internal/frame"
 	"github.com/flexray-go/coefficient/internal/node"
 	"github.com/flexray-go/coefficient/internal/reliability"
@@ -65,6 +66,17 @@ type Options struct {
 	// which is sound but conservative, and O(levels) instead of a full
 	// schedule projection per job.
 	FullAdmission bool
+	// Adaptive enables the online reliability controller: a windowed
+	// frame-error-rate estimator per channel fed from transmission
+	// outcomes, runtime replanning of the retransmission vector k_z when
+	// the observed error rate diverges from the plan BER, dual-channel
+	// failover for channels that look blacked out, and
+	// criticality-ordered load shedding when the required retransmissions
+	// no longer fit the stolen-slack budget.
+	Adaptive bool
+	// Adapt tunes the controller; the zero value selects defaults (and a
+	// replan cooldown of 20 communication cycles).
+	Adapt adapt.Options
 	// Reactive switches from the paper-faithful proactive replication
 	// (k_z blind copies per instance, FlexRay has no acknowledgements) to
 	// an extension that retransmits only after an observed fault through
@@ -99,6 +111,12 @@ type Stats struct {
 	// BudgetExhausted counts instances whose retransmission budget ran
 	// out and fell back to best-effort service.
 	BudgetExhausted int64
+	// Replans counts runtime recomputations of the retransmission plan
+	// (adaptive mode only).
+	Replans int64
+	// ShedMessages counts shed transitions of messages (adaptive mode
+	// only; a message shed twice across two episodes counts twice).
+	ShedMessages int64
 }
 
 // Scheduler is the CoEfficient policy.
@@ -130,6 +148,20 @@ type Scheduler struct {
 	dynHardA, dynSoftA timebase.Macrotick
 	// admittedBacklog tracks the remaining work of quick-admitted jobs.
 	admittedBacklog timebase.Macrotick
+
+	// Adaptive-mode state (nil / zero when Options.Adaptive is off).
+	ctl *adapt.Controller
+	// planMeta caches per-message planning inputs for runtime replans.
+	planMeta []planEntry
+	// shed marks frame IDs currently removed from service by load
+	// shedding.
+	shed map[int]bool
+	// probeCycles counts consecutive cycles each channel has been
+	// suspect, driving the periodic probe.
+	probeCycles map[frame.Channel]int64
+	// failoverActive is set while channel B substitutes for a suspect
+	// channel A.
+	failoverActive bool
 
 	stats Stats
 }
@@ -168,29 +200,38 @@ func (s *Scheduler) Init(env *sim.Env) error {
 		return fmt.Errorf("core: retransmission plan: %w", err)
 	}
 	s.buildSlackModel()
+	s.initAdaptive()
 	return nil
 }
 
-// buildPlan runs the reliability planner over every message.
+// buildPlan runs the reliability planner over every message.  It also
+// caches the planning inputs (planMeta) that runtime replans reuse.
 func (s *Scheduler) buildPlan() error {
 	s.plan = make(map[int]int, len(s.env.Set.Messages))
-	if s.opts.BER <= 0 {
-		return nil // fault-free assumption: no planned retransmissions
-	}
-	msgs := make([]reliability.Message, 0, len(s.env.Set.Messages))
-	ids := make([]int, 0, len(s.env.Set.Messages))
+	s.planMeta = s.planMeta[:0]
 	for i := range s.env.Set.Messages {
 		m := &s.env.Set.Messages[i]
 		period := m.Period
 		if period <= 0 {
 			period = m.Deadline
 		}
-		msgs = append(msgs, reliability.Message{
-			Name:   m.Name,
-			Bits:   frame.WireBits(m.Bytes()),
-			Period: period,
+		s.planMeta = append(s.planMeta, planEntry{
+			msg: reliability.Message{
+				Name:   m.Name,
+				Bits:   frame.WireBits(m.Bytes()),
+				Period: period,
+			},
+			id:   m.ID,
+			soft: m.Kind != signal.Periodic,
+			prio: m.Priority,
 		})
-		ids = append(ids, m.ID)
+	}
+	if s.opts.BER <= 0 {
+		return nil // fault-free assumption: no planned retransmissions
+	}
+	msgs := make([]reliability.Message, len(s.planMeta))
+	for i, e := range s.planMeta {
+		msgs[i] = e.msg
 	}
 	planFn := reliability.PlanDifferentiated
 	if s.opts.Uniform {
@@ -200,8 +241,8 @@ func (s *Scheduler) buildPlan() error {
 	if err != nil {
 		return err
 	}
-	for i, id := range ids {
-		s.plan[id] = plan.Retransmissions[i]
+	for i, e := range s.planMeta {
+		s.plan[e.id] = plan.Retransmissions[i]
 	}
 	s.stats.PlannedRetx = plan.Total()
 	return nil
@@ -270,6 +311,7 @@ func (s *Scheduler) CycleStart(_ int64, now timebase.Macrotick) {
 	}
 	s.dynHardA, s.dynSoftA = 0, 0
 	s.purgeExpired(now)
+	s.adaptTick(now)
 }
 
 // purgeExpired retires retransmission jobs whose deadline has passed.  In
@@ -299,6 +341,11 @@ func (s *Scheduler) StaticSlot(ch frame.Channel, _ int64, slot int, now timebase
 	if ch == frame.ChannelB {
 		if s.opts.SingleChannel {
 			return nil
+		}
+		if s.failoverActive {
+			if tx := s.failoverStatic(slot, now); tx != nil {
+				return tx
+			}
 		}
 		// Channel B carries no primary static traffic: its whole
 		// static segment is a steal pool.
@@ -350,6 +397,14 @@ func (s *Scheduler) reportOwnerSlot(slot int, in *node.Instance) {
 // messages (cooperative scheduling).  reportA says the choice must be
 // reported to the channel-A stealer.
 func (s *Scheduler) pickSteal(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
+	if !s.stealAllowed(ch) {
+		// Suspect channel outside its probe cycle: burning proactive
+		// copies on a likely-dead channel would defeat the plan.
+		if reportA && s.stealer != nil {
+			_ = s.stealer.Idle(capacity)
+		}
+		return nil
+	}
 	if tx := s.stealRetx(ch, now, capacity, staticSlack, reportA); tx != nil {
 		return tx
 	}
@@ -364,6 +419,9 @@ func (s *Scheduler) pickSteal(ch frame.Channel, now, capacity timebase.Macrotick
 
 // stealRetx serves the retransmission queue.
 func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
+	if s.avoidRetx(ch) {
+		return nil
+	}
 	for _, j := range s.retx {
 		if !s.env.Attached(j.in.Msg.Node, ch) {
 			continue
@@ -402,6 +460,9 @@ func (s *Scheduler) stealSoft(ch frame.Channel, now, capacity timebase.Macrotick
 	for _, ecu := range s.env.ECUs {
 		in := ecu.PeekDynamicAny(now)
 		if in == nil || !s.env.Attached(in.Msg.Node, ch) {
+			continue
+		}
+		if s.shed[in.Msg.ID] {
 			continue
 		}
 		cands = append(cands, cand{in: in, dur: s.env.FrameDuration(in.Msg)})
@@ -459,6 +520,9 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 	m, ok := s.env.DynamicMsgs[slotCounter]
 	if !ok || !s.env.Attached(m.Node, ch) {
 		return nil
+	}
+	if s.shed[slotCounter] {
+		return nil // shed by the adaptive controller
 	}
 	ecu := s.env.ECUs[m.Node]
 	dur := s.env.FrameDuration(m)
@@ -521,6 +585,7 @@ func (s *Scheduler) maybeSpawnCopies(in *node.Instance) {
 
 // Result implements sim.Scheduler.
 func (s *Scheduler) Result(tx *sim.Transmission, ok bool, now timebase.Macrotick) {
+	s.observe(tx, ok)
 	in := tx.Instance
 	if !s.opts.Reactive {
 		// Proactive replication: every copy job is one wire attempt,

@@ -1,0 +1,9 @@
+package core
+
+import "github.com/flexray-go/coefficient/internal/timebase"
+
+// ReplanForTest drives the adaptive replanner directly at an assumed
+// observed BER, bypassing estimator convergence.  Init must have run.
+func (s *Scheduler) ReplanForTest(ber float64, now timebase.Macrotick) {
+	s.replan(ber, now)
+}

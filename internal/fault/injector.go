@@ -135,15 +135,8 @@ type GilbertElliottConfig struct {
 // NewGilbertElliott returns a burst injector with the given configuration and
 // seed.
 func NewGilbertElliott(cfg GilbertElliottConfig, seed uint64) (*GilbertElliott, error) {
-	for _, ber := range []float64{cfg.BERGood, cfg.BERBad} {
-		if ber < 0 || ber >= 1 {
-			return nil, fmt.Errorf("%w: %g", ErrBadBER, ber)
-		}
-	}
-	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood} {
-		if p < 0 || p > 1 {
-			return nil, fmt.Errorf("fault: transition probability %g outside [0,1]", p)
-		}
+	if err := checkGEConfig(cfg); err != nil {
+		return nil, err
 	}
 	return &GilbertElliott{cfg: cfg, rng: NewRNG(seed)}, nil
 }

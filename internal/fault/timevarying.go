@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// TimeVarying is an Injector whose fault process depends on the bus time.
+// The simulation engine passes the transmission start time so scripted
+// fault timelines (BER steps, ramps, burst episodes) stay aligned with the
+// macrotick clock regardless of how many transmissions occur.
+type TimeVarying interface {
+	Injector
+	// CorruptsAt reports whether a transmission of `bits` bits starting at
+	// macrotick `at` is corrupted.
+	CorruptsAt(bits int, at timebase.Macrotick) bool
+}
+
+// OpenEnd marks a phase or window that lasts until the end of the run.
+const OpenEnd timebase.Macrotick = 1<<63 - 1
+
+// BERPhase is one window of a piecewise bit-error-rate profile.  Within
+// [Start, End) the BER ramps linearly from From to To; a step is a phase
+// with From == To.  Phases must not overlap; outside every phase the
+// profile's base BER applies.
+type BERPhase struct {
+	// Start and End bound the phase in macroticks, half-open [Start, End).
+	// End == OpenEnd keeps the phase active until the end of the run.
+	Start, End timebase.Macrotick
+	// From and To are the BER at Start and End.
+	From, To float64
+}
+
+// BurstWindow is one Gilbert–Elliott burst episode.  Within [Start, End)
+// the two-state model replaces the BER profile; each window keeps its own
+// channel state, starting in the Good state.
+type BurstWindow struct {
+	// Start and End bound the episode in macroticks, half-open [Start, End).
+	Start, End timebase.Macrotick
+	// GE parameterizes the two-state model inside the window.
+	GE GilbertElliottConfig
+}
+
+// Profile is a deterministic time-varying injector: a base BER overlaid
+// with step/ramp phases and Gilbert–Elliott burst episodes.  It is the
+// fault model the scenario engine compiles channel timelines into.
+type Profile struct {
+	mu     sync.Mutex
+	base   float64
+	phases []BERPhase
+	bursts []burstState
+	rng    *RNG
+	stats  Stats
+	lastAt timebase.Macrotick
+}
+
+type burstState struct {
+	BurstWindow
+	bad bool
+}
+
+var _ TimeVarying = (*Profile)(nil)
+
+func checkGEConfig(cfg GilbertElliottConfig) error {
+	for _, ber := range []float64{cfg.BERGood, cfg.BERBad} {
+		if ber < 0 || ber >= 1 {
+			return fmt.Errorf("%w: %g", ErrBadBER, ber)
+		}
+	}
+	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("fault: transition probability %g outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// NewProfile returns a time-varying injector with the given base BER,
+// phases and burst windows, seeded deterministically.  Phases must not
+// overlap each other, and burst windows must not overlap each other; a
+// burst window may overlap a phase (the burst model wins while active).
+func NewProfile(base float64, phases []BERPhase, bursts []BurstWindow, seed uint64) (*Profile, error) {
+	if base < 0 || base >= 1 {
+		return nil, fmt.Errorf("%w: base %g", ErrBadBER, base)
+	}
+	ph := append([]BERPhase(nil), phases...)
+	sort.Slice(ph, func(i, j int) bool { return ph[i].Start < ph[j].Start })
+	for i, p := range ph {
+		if p.Start < 0 {
+			return nil, fmt.Errorf("fault: phase start %d negative", p.Start)
+		}
+		if p.End <= p.Start {
+			return nil, fmt.Errorf("fault: phase [%d, %d) empty", p.Start, p.End)
+		}
+		for _, ber := range []float64{p.From, p.To} {
+			if ber < 0 || ber >= 1 {
+				return nil, fmt.Errorf("%w: phase BER %g", ErrBadBER, ber)
+			}
+		}
+		if i > 0 && p.Start < ph[i-1].End {
+			return nil, fmt.Errorf("fault: phases [%d, %d) and [%d, %d) overlap",
+				ph[i-1].Start, ph[i-1].End, p.Start, p.End)
+		}
+	}
+	bw := make([]burstState, 0, len(bursts))
+	for _, b := range bursts {
+		bw = append(bw, burstState{BurstWindow: b})
+	}
+	sort.Slice(bw, func(i, j int) bool { return bw[i].Start < bw[j].Start })
+	for i, b := range bw {
+		if b.Start < 0 {
+			return nil, fmt.Errorf("fault: burst start %d negative", b.Start)
+		}
+		if b.End <= b.Start {
+			return nil, fmt.Errorf("fault: burst [%d, %d) empty", b.Start, b.End)
+		}
+		if err := checkGEConfig(b.GE); err != nil {
+			return nil, err
+		}
+		if i > 0 && b.Start < bw[i-1].End {
+			return nil, fmt.Errorf("fault: bursts [%d, %d) and [%d, %d) overlap",
+				bw[i-1].Start, bw[i-1].End, b.Start, b.End)
+		}
+	}
+	return &Profile{base: base, phases: ph, bursts: bw, rng: NewRNG(seed)}, nil
+}
+
+// BERAt returns the effective bit error rate at macrotick `at`, ignoring
+// burst episodes.
+func (p *Profile) BERAt(at timebase.Macrotick) float64 {
+	for _, ph := range p.phases {
+		if at < ph.Start {
+			break
+		}
+		if at >= ph.End {
+			continue
+		}
+		if ph.From == ph.To || ph.End == OpenEnd {
+			return ph.From
+		}
+		frac := float64(at-ph.Start) / float64(ph.End-ph.Start)
+		return ph.From + (ph.To-ph.From)*frac
+	}
+	return p.base
+}
+
+// CorruptsAt implements TimeVarying.
+func (p *Profile) CorruptsAt(bits int, at timebase.Macrotick) bool {
+	if bits <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastAt = at
+	ber := p.BERAt(at)
+	for i := range p.bursts {
+		b := &p.bursts[i]
+		if at < b.Start {
+			break
+		}
+		if at >= b.End {
+			continue
+		}
+		// Burst episode: state transition first, then the state's BER.
+		if b.bad {
+			if p.rng.Bernoulli(b.GE.PBadToGood) {
+				b.bad = false
+			}
+		} else if p.rng.Bernoulli(b.GE.PGoodToBad) {
+			b.bad = true
+		}
+		ber = b.GE.BERGood
+		if b.bad {
+			ber = b.GE.BERBad
+		}
+		break
+	}
+	prob, err := FrameFailureProb(ber, bits)
+	if err != nil {
+		return false
+	}
+	p.stats.Transmissions++
+	hit := p.rng.Bernoulli(prob)
+	if hit {
+		p.stats.Faults++
+	}
+	return hit
+}
+
+// Corrupts implements Injector using the most recently observed time (the
+// engine always calls CorruptsAt; this is a compatibility fallback).
+func (p *Profile) Corrupts(bits int) bool {
+	p.mu.Lock()
+	last := p.lastAt
+	p.mu.Unlock()
+	return p.CorruptsAt(bits, last)
+}
+
+// Stats implements Injector.
+func (p *Profile) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

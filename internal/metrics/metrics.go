@@ -143,7 +143,82 @@ type Collector struct {
 	faults int64
 	// makespan is the completion time of the last delivered instance.
 	makespan timebase.Macrotick
+	// adaptive holds the reliability controller's gauges.
+	adaptive AdaptiveGauges
 }
+
+// AdaptiveGauges exposes the adaptive reliability controller's counters
+// and estimator readings.  The simulator hands a pointer to the scheduler
+// through the environment; schedulers without a controller leave it zero.
+type AdaptiveGauges struct {
+	// Replans counts runtime recomputations of the retransmission plan.
+	Replans int64
+	// Failovers counts activations of dual-channel failover.
+	Failovers int64
+	// ShedMessages counts load-shedding actions (messages shed; a message
+	// shed, restored and shed again counts twice).
+	ShedMessages int64
+	// RestoredMessages counts shed messages brought back into service.
+	RestoredMessages int64
+	// ObservedFER maps a channel label ("A", "B") to the estimator's most
+	// recent frame-error-rate reading.
+	ObservedFER map[string]float64
+}
+
+// Replan counts one runtime replan.
+func (g *AdaptiveGauges) Replan() {
+	if g == nil {
+		return
+	}
+	g.Replans++
+}
+
+// Failover counts one failover activation.
+func (g *AdaptiveGauges) Failover() {
+	if g == nil {
+		return
+	}
+	g.Failovers++
+}
+
+// Shed counts n messages shed (n < 0 counts -n messages restored).
+func (g *AdaptiveGauges) Shed(n int) {
+	if g == nil {
+		return
+	}
+	if n >= 0 {
+		g.ShedMessages += int64(n)
+	} else {
+		g.RestoredMessages += int64(-n)
+	}
+}
+
+// SetFER records the estimator's frame-error-rate reading for a channel.
+func (g *AdaptiveGauges) SetFER(channel string, fer float64) {
+	if g == nil {
+		return
+	}
+	if g.ObservedFER == nil {
+		g.ObservedFER = make(map[string]float64, 2)
+	}
+	g.ObservedFER[channel] = fer
+}
+
+// snapshot returns a deep copy for the immutable report.
+func (g AdaptiveGauges) snapshot() AdaptiveGauges {
+	out := g
+	if g.ObservedFER != nil {
+		out.ObservedFER = make(map[string]float64, len(g.ObservedFER))
+		for k, v := range g.ObservedFER {
+			out.ObservedFER[k] = v
+		}
+	}
+	return out
+}
+
+// Adaptive returns the collector's adaptive gauges for schedulers to
+// update in place.
+func (c *Collector) Adaptive() *AdaptiveGauges { return &c.adaptive }
 
 // NewCollector returns a collector for simulations under cfg.
 func NewCollector(cfg timebase.Config) *Collector {
@@ -247,6 +322,9 @@ type Report struct {
 	Retransmissions int64
 	// Faults is the number of corrupted transmissions.
 	Faults int64
+	// Adaptive holds the adaptive reliability controller's gauges (all
+	// zero for schedulers without a controller).
+	Adaptive AdaptiveGauges
 }
 
 // Report summarizes the collected measurements.
@@ -262,6 +340,7 @@ func (c *Collector) Report() Report {
 		Dropped:           make(map[SegmentKind]int64, 2),
 		Retransmissions:   c.retransmissions,
 		Faults:            c.faults,
+		Adaptive:          c.adaptive.snapshot(),
 	}
 	if c.channelMT > 0 {
 		r.BandwidthUtilization = float64(c.busyMT) / float64(c.channelMT)

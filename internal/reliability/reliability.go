@@ -100,6 +100,31 @@ func logSuccessOne(p float64, k int, instances float64) float64 {
 	return instances * math.Log1p(-loss)
 }
 
+// logSuccessDual returns (u/T_z) · log(1 − p0 · pr^k), the message's
+// contribution to log P when the first transmission fails with probability
+// p0 and each of the k retransmission copies with probability pr.  With
+// pr == p0 it equals logSuccessOne(p0, k, instances).
+func logSuccessDual(p0, pr float64, k int, instances float64) float64 {
+	if p0 <= 0 {
+		return 0
+	}
+	var loss float64
+	switch {
+	case k == 0:
+		loss = p0
+	case pr <= 0:
+		return 0
+	case pr >= 1:
+		loss = p0
+	default:
+		loss = math.Exp(math.Log(p0) + float64(k)*math.Log(pr))
+	}
+	if loss >= 1 {
+		return math.Inf(-1)
+	}
+	return instances * math.Log1p(-loss)
+}
+
 // SuccessProbability evaluates Theorem 1: the probability that all instances
 // of all messages over time unit u are delivered within k_z+1 transmissions.
 // retx may be nil (no retransmissions) or must have one entry per message.
@@ -164,6 +189,32 @@ func PlanUniform(msgs []Message, ber float64, u time.Duration, goal float64, max
 // gains of a message form a decreasing sequence and picking the globally
 // largest marginal gain at each step dominates any other order.
 func PlanDifferentiated(msgs []Message, ber float64, u time.Duration, goal float64, maxRetx int) (Plan, error) {
+	return Replan(msgs, ber, u, goal, maxRetx, nil)
+}
+
+// Replan is the incremental entry point for the runtime re-planner: it
+// recomputes the retransmission vector at a new BER, warm-started from a
+// previous vector.  Starting above the goal it removes the retransmission
+// whose loss costs the least log P while the goal still holds (pruning an
+// over-provisioned plan after the channel heals); starting below it adds
+// greedily exactly like PlanDifferentiated.  prev may be nil (cold start
+// from zero) and is clamped to [0, maxRetx]; a prev of the wrong length is
+// ignored.
+func Replan(msgs []Message, ber float64, u time.Duration, goal float64, maxRetx int, prev []int) (Plan, error) {
+	return ReplanDual(msgs, ber, ber, u, goal, maxRetx, prev)
+}
+
+// ReplanDual generalizes Replan to asymmetric channels: the first
+// transmission of a message fails with the probability induced by
+// primaryBER, every retransmission copy with the probability induced by
+// retxBER, so an instance is lost with probability p0 · pr^k and Theorem 1
+// becomes P = ∏_z (1 − p0_z · pr_z^{k_z})^{u/T_z}.  This models the
+// dual-channel degradation case: when the primary channel's error rate is
+// elevated, the adaptive scheduler routes copies onto the healthy channel,
+// where a single copy buys far more reliability than the symmetric model
+// would predict.  With retxBER == primaryBER it reduces exactly to the
+// paper's model.
+func ReplanDual(msgs []Message, primaryBER, retxBER float64, u time.Duration, goal float64, maxRetx int, prev []int) (Plan, error) {
 	if err := checkPlanArgs(msgs, u, goal); err != nil {
 		return Plan{}, err
 	}
@@ -172,46 +223,107 @@ func PlanDifferentiated(msgs []Message, ber float64, u time.Duration, goal float
 	}
 
 	n := len(msgs)
-	probs := make([]float64, n)
+	p0 := make([]float64, n)
+	pr := make([]float64, n)
 	instances := make([]float64, n)
 	for i, m := range msgs {
 		if m.Period <= 0 {
 			return Plan{}, fmt.Errorf("%w: message %q period %v", ErrBadPeriod, m.Name, m.Period)
 		}
-		p, err := FailureProb(m, ber)
+		p, err := FailureProb(m, primaryBER)
 		if err != nil {
 			return Plan{}, fmt.Errorf("message %q: %w", m.Name, err)
 		}
-		probs[i] = p
+		p0[i] = p
+		if retxBER == primaryBER {
+			pr[i] = p
+		} else {
+			p, err = FailureProb(m, retxBER)
+			if err != nil {
+				return Plan{}, fmt.Errorf("message %q: %w", m.Name, err)
+			}
+			pr[i] = p
+		}
 		instances[i] = float64(u) / float64(m.Period)
 	}
 
 	retx := make([]int, n)
-	contrib := make([]float64, n)
-	logP := 0.0
-	for i := range msgs {
-		contrib[i] = logSuccessOne(probs[i], 0, instances[i])
-		logP += contrib[i]
+	if len(prev) == n {
+		for i, k := range prev {
+			switch {
+			case k < 0:
+				retx[i] = 0
+			case k > maxRetx:
+				retx[i] = maxRetx
+			default:
+				retx[i] = k
+			}
+		}
 	}
+	contrib := make([]float64, n)
+	sumContrib := func() float64 {
+		logP := 0.0
+		for i := range msgs {
+			logP += contrib[i]
+		}
+		return logP
+	}
+	for i := range msgs {
+		contrib[i] = logSuccessDual(p0[i], pr[i], retx[i], instances[i])
+	}
+	logP := sumContrib()
 	logGoal := math.Log(goal)
 
+	// Add greedily until the goal holds.  Contributions can be -Inf (a
+	// message certain to be lost at its current k), so gains are screened
+	// for NaN (-Inf minus -Inf: more copies don't help that message either)
+	// and the chosen contribution is recomputed rather than accumulated.
 	for logP < logGoal {
 		best, bestGain := -1, 0.0
 		for i := range msgs {
-			if retx[i] >= maxRetx || probs[i] <= 0 {
+			if retx[i] >= maxRetx || p0[i] <= 0 {
 				continue
 			}
-			gain := logSuccessOne(probs[i], retx[i]+1, instances[i]) - contrib[i]
+			gain := logSuccessDual(p0[i], pr[i], retx[i]+1, instances[i]) - contrib[i]
+			if math.IsNaN(gain) || gain <= 0 {
+				continue
+			}
 			if best == -1 || gain > bestGain {
 				best, bestGain = i, gain
 			}
 		}
-		if best == -1 || bestGain <= 0 {
+		if best == -1 {
 			return Plan{}, fmt.Errorf("%w: differentiated, cap %d", ErrUnreachable, maxRetx)
 		}
 		retx[best]++
-		contrib[best] += bestGain
-		logP += bestGain
+		contrib[best] = logSuccessDual(p0[best], pr[best], retx[best], instances[best])
+		logP = sumContrib()
+	}
+
+	// Prune: drop the retransmission whose removal loses the least log P
+	// for as long as the goal still holds afterwards.
+	for {
+		best, bestLoss := -1, 0.0
+		var bestContrib float64
+		for i := range msgs {
+			if retx[i] <= 0 {
+				continue
+			}
+			lower := logSuccessDual(p0[i], pr[i], retx[i]-1, instances[i])
+			loss := contrib[i] - lower
+			if logP-loss < logGoal {
+				continue
+			}
+			if best == -1 || loss < bestLoss {
+				best, bestLoss, bestContrib = i, loss, lower
+			}
+		}
+		if best == -1 {
+			break
+		}
+		retx[best]--
+		contrib[best] = bestContrib
+		logP -= bestLoss
 	}
 	return finishPlan(msgs, u, goal, retx, math.Exp(logP)), nil
 }

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/timebase"
+)
+
+// Per-channel seed tweaks so the two channels draw independent fault
+// streams from one run seed.
+const (
+	seedChannelA uint64 = 0xA11CE5CE_4A12_0001
+	seedChannelB uint64 = 0xB0B5_1ED0_4A12_0002
+)
+
+// Runtime is a scenario compiled against a cluster timing configuration:
+// every window is converted to macroticks, and each scripted channel gets
+// a deterministic time-varying injector derived from the run seed.
+type Runtime struct {
+	name      string
+	injectors map[frame.Channel]*fault.Profile
+	blackouts map[frame.Channel][]mtSpan
+	nodes     map[int][]mtSpan
+}
+
+// mtSpan is a half-open macrotick window [start, end).
+type mtSpan struct {
+	start, end timebase.Macrotick
+}
+
+func (s mtSpan) contains(t timebase.Macrotick) bool {
+	return t >= s.start && t < s.end
+}
+
+// Compile converts the scenario to the run's macrotick clock and builds
+// the per-channel injectors.  The same seed and scenario always produce
+// the same Runtime behaviour.
+func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		name:      s.Name,
+		injectors: make(map[frame.Channel]*fault.Profile),
+		blackouts: make(map[frame.Channel][]mtSpan),
+		nodes:     make(map[int][]mtSpan),
+	}
+	for key, ch := range s.Channels {
+		fc := frame.ChannelA
+		chSeed := seed ^ seedChannelA
+		if key == "B" {
+			fc = frame.ChannelB
+			chSeed = seed ^ seedChannelB
+		}
+		inj, err := compileChannel(ch, cfg, chSeed)
+		if err != nil {
+			return nil, fmt.Errorf("channel %s: %w", key, err)
+		}
+		rt.injectors[fc] = inj
+		for _, w := range ch.Blackouts {
+			rt.blackouts[fc] = append(rt.blackouts[fc], mtSpan{
+				start: cfg.FromDuration(w.Start.Std()),
+				end:   cfg.FromDuration(w.End.Std()),
+			})
+		}
+		sortSpans(rt.blackouts[fc])
+	}
+	for _, ev := range s.Nodes {
+		end := fault.OpenEnd
+		if ev.RecoverAt > 0 {
+			end = cfg.FromDuration(ev.RecoverAt.Std())
+		}
+		rt.nodes[ev.Node] = append(rt.nodes[ev.Node], mtSpan{
+			start: cfg.FromDuration(ev.FailAt.Std()),
+			end:   end,
+		})
+	}
+	for id := range rt.nodes {
+		sortSpans(rt.nodes[id])
+	}
+	return rt, nil
+}
+
+func sortSpans(spans []mtSpan) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+}
+
+func compileChannel(ch *Channel, cfg timebase.Config, seed uint64) (*fault.Profile, error) {
+	// A window that validates in nanoseconds can still collapse to nothing
+	// on the coarser macrotick clock (e.g. [1ns, 2ns) with 1µs macroticks);
+	// such windows are unobservable by the engine and are dropped rather
+	// than rejected.
+	var phases []fault.BERPhase
+	for _, st := range ch.Steps {
+		end := fault.OpenEnd
+		if st.End > 0 {
+			end = cfg.FromDuration(st.End.Std())
+		}
+		start := cfg.FromDuration(st.Start.Std())
+		if end <= start {
+			continue
+		}
+		phases = append(phases, fault.BERPhase{
+			Start: start,
+			End:   end,
+			From:  st.BER,
+			To:    st.BER,
+		})
+	}
+	for _, rp := range ch.Ramps {
+		start, end := cfg.FromDuration(rp.Start.Std()), cfg.FromDuration(rp.End.Std())
+		if end <= start {
+			continue
+		}
+		phases = append(phases, fault.BERPhase{
+			Start: start,
+			End:   end,
+			From:  rp.From,
+			To:    rp.To,
+		})
+	}
+	var bursts []fault.BurstWindow
+	for _, b := range ch.Bursts {
+		start, end := cfg.FromDuration(b.Start.Std()), cfg.FromDuration(b.End.Std())
+		if end <= start {
+			continue
+		}
+		bursts = append(bursts, fault.BurstWindow{
+			Start: start,
+			End:   end,
+			GE: fault.GilbertElliottConfig{
+				BERGood:    b.BERGood,
+				BERBad:     b.BERBad,
+				PGoodToBad: b.PGoodToBad,
+				PBadToGood: b.PBadToGood,
+			},
+		})
+	}
+	return fault.NewProfile(ch.BaseBER, phases, bursts, seed)
+}
+
+// Name returns the scenario label.
+func (r *Runtime) Name() string { return r.name }
+
+// Injector returns the scripted injector for the channel, or nil when the
+// scenario does not model the channel's faults.
+func (r *Runtime) Injector(ch frame.Channel) fault.Injector {
+	inj, ok := r.injectors[ch]
+	if !ok {
+		return nil
+	}
+	return inj
+}
+
+// BlackedOut reports whether the channel is inside a blackout window at t.
+func (r *Runtime) BlackedOut(ch frame.Channel, t timebase.Macrotick) bool {
+	for _, sp := range r.blackouts[ch] {
+		if t < sp.start {
+			return false
+		}
+		if sp.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeDown reports whether the node is inside a scripted down interval at t.
+func (r *Runtime) NodeDown(id int, t timebase.Macrotick) bool {
+	for _, sp := range r.nodes[id] {
+		if t < sp.start {
+			return false
+		}
+		if sp.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeIDs returns the nodes with scripted crash/recovery events, sorted.
+func (r *Runtime) NodeIDs() []int {
+	ids := make([]int, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzParse checks the DSL parser's contract on arbitrary input: it must
+// never panic, and whatever it accepts must validate, compile, and survive
+// a marshal/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(fullDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "x"}`))
+	f.Add([]byte(`{"channels": {"A": {"baseBER": 1e-7}}}`))
+	f.Add([]byte(`{"channels": {"A": {"steps": [{"start": "10ms", "ber": 1e-4}]}}}`))
+	f.Add([]byte(`{"channels": {"A": {"steps": [{"start": -1, "ber": 2}]}}}`))
+	f.Add([]byte(`{"channels": {"A": {"blackouts": [{"start": "5ms", "end": "1ms"}]}}}`))
+	f.Add([]byte(`{"nodes": [{"node": 2, "failAt": "20ms", "recoverAt": "10ms"}]}`))
+	f.Add([]byte(`{"nodes": [{"node": 2, "failAt": 9223372036854775807}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"channels": {"A": {"baseBER": 1e308}}} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Parse returned both a scenario and an error")
+			}
+			return
+		}
+		// Accepted documents are semantically valid by contract...
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails Validate: %v", err)
+		}
+		// ...compile cleanly against a real timing configuration...
+		if _, err := s.Compile(testConfig(), 42); err != nil {
+			t.Fatalf("accepted scenario fails Compile: %v", err)
+		}
+		// ...and survive a round trip through their canonical encoding.
+		doc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("Marshal of accepted scenario: %v", err)
+		}
+		if _, err := Parse(doc); err != nil {
+			t.Fatalf("re-Parse of accepted scenario: %v\ndoc: %s", err, doc)
+		}
+	})
+}
+
+// Durations must reject junk without panicking, independent of Parse.
+func FuzzDuration(f *testing.F) {
+	f.Add([]byte(`"20ms"`))
+	f.Add([]byte(`5000000`))
+	f.Add([]byte(`"not-a-duration"`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Duration
+		if err := d.UnmarshalJSON(data); err != nil {
+			return
+		}
+		if _, err := json.Marshal(d); err != nil {
+			t.Fatalf("Marshal of accepted duration %v: %v", time.Duration(d), err)
+		}
+	})
+}

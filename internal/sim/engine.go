@@ -2,12 +2,14 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/flexray-go/coefficient/internal/fault"
 	"github.com/flexray-go/coefficient/internal/frame"
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/node"
+	"github.com/flexray-go/coefficient/internal/scenario"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/timebase"
 	"github.com/flexray-go/coefficient/internal/topology"
@@ -58,6 +60,16 @@ type Options struct {
 	// transmitting at the given time.  Instances it would have sent pile
 	// up and expire, which the metrics count as misses.
 	NodeFailures map[int]timebase.Macrotick
+	// NodeRecoveries lets a failed node rejoin: the node resumes
+	// transmitting at the given time.  Every entry must pair with a
+	// NodeFailures entry at a strictly earlier time.
+	NodeRecoveries map[int]timebase.Macrotick
+	// Scenario optionally scripts a time-varying fault timeline: BER
+	// steps/ramps and burst episodes per channel, channel blackouts, and
+	// node crash/recovery events.  Channels the scenario models get a
+	// deterministic injector derived from Seed, overriding
+	// InjectorA/InjectorB.
+	Scenario *scenario.Scenario
 	// Mode selects Streaming or Batch.
 	Mode Mode
 	// Duration is the simulated horizon (Streaming).
@@ -92,6 +104,21 @@ func (o *Options) validate() error {
 	for id, at := range o.NodeFailures {
 		if at < 0 {
 			return fmt.Errorf("%w: node %d failure at %d", ErrBadOptions, id, at)
+		}
+	}
+	for id, at := range o.NodeRecoveries {
+		failAt, failed := o.NodeFailures[id]
+		if !failed {
+			return fmt.Errorf("%w: node %d recovery without a failure", ErrBadOptions, id)
+		}
+		if at <= failAt {
+			return fmt.Errorf("%w: node %d recovery at %d not after failure at %d",
+				ErrBadOptions, id, at, failAt)
+		}
+	}
+	if o.Scenario != nil {
+		if err := o.Scenario.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOptions, err)
 		}
 	}
 	switch o.Mode {
@@ -187,6 +214,13 @@ type engine struct {
 	// warmup is the macrotick time before which metrics are not
 	// collected.
 	warmup timebase.Macrotick
+
+	// scn is the compiled fault-scenario timeline (nil without one).
+	scn *scenario.Runtime
+	// watchedNodes lists nodes with failure or recovery events, for
+	// node-down/node-up trace transitions; nodeDown is their last state.
+	watchedNodes []int
+	nodeDown     map[int]bool
 }
 
 func newEngine(opts Options, sched Scheduler) (*engine, error) {
@@ -245,6 +279,24 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 	if opts.Mode == Streaming {
 		eng.warmup = cfg.FromDuration(opts.Warmup)
 	}
+	if opts.Scenario != nil {
+		rt, err := opts.Scenario.Compile(cfg, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		eng.scn = rt
+		// Scenario channels override the option injectors so the scripted
+		// timeline is the single source of channel fault truth.
+		if inj := rt.Injector(frame.ChannelA); inj != nil {
+			eng.opts.InjectorA = inj
+		}
+		if inj := rt.Injector(frame.ChannelB); inj != nil {
+			eng.opts.InjectorB = inj
+		}
+	}
+	eng.initNodeWatch()
+	env.Trace = opts.Recorder
+	env.Gauges = eng.col.Adaptive()
 	eng.rel = newReleaser(opts, env)
 	eng.rel.overflow = func(in *node.Instance, rel timebase.Macrotick) {
 		eng.dropInstance(in, rel)
@@ -292,6 +344,7 @@ func (e *engine) run() (Result, error) {
 			e.rel.enqueueCycle(cycle)
 			e.dropExpired(now)
 		}
+		e.watchNodes(now)
 		e.sched.CycleStart(cycle, now)
 		for _, ecu := range e.env.ECUs {
 			ecu.ResetSlotCounters()
@@ -425,10 +478,58 @@ func (e *engine) checkDynamicTx(tx *Transmission, ch frame.Channel, need, remain
 	return nil
 }
 
-// nodeAlive reports whether the node has not permanently failed by t.
+// nodeAlive reports whether the node is transmitting at t: it has not
+// failed, or it failed and has already recovered, and no scripted
+// scenario interval holds it down.
 func (e *engine) nodeAlive(nodeID int, t timebase.Macrotick) bool {
-	at, failed := e.opts.NodeFailures[nodeID]
-	return !failed || t < at
+	if at, failed := e.opts.NodeFailures[nodeID]; failed && t >= at {
+		rec, recovers := e.opts.NodeRecoveries[nodeID]
+		if !recovers || t < rec {
+			return false
+		}
+	}
+	if e.scn != nil && e.scn.NodeDown(nodeID, t) {
+		return false
+	}
+	return true
+}
+
+// initNodeWatch collects the nodes whose liveness can change over the run
+// so cycle starts can emit node-down/node-up transitions into the trace.
+func (e *engine) initNodeWatch() {
+	seen := make(map[int]bool)
+	for id := range e.opts.NodeFailures {
+		seen[id] = true
+	}
+	if e.scn != nil {
+		for _, id := range e.scn.NodeIDs() {
+			seen[id] = true
+		}
+	}
+	if len(seen) == 0 {
+		return
+	}
+	e.nodeDown = make(map[int]bool, len(seen))
+	for id := range seen {
+		e.watchedNodes = append(e.watchedNodes, id)
+	}
+	sort.Ints(e.watchedNodes)
+}
+
+// watchNodes records liveness transitions of watched nodes at `now`.
+func (e *engine) watchNodes(now timebase.Macrotick) {
+	for _, id := range e.watchedNodes {
+		down := !e.nodeAlive(id, now)
+		if down == e.nodeDown[id] {
+			continue
+		}
+		e.nodeDown[id] = down
+		kind := trace.EventNodeUp
+		if down {
+			kind = trace.EventNodeDown
+		}
+		e.record(trace.Event{Time: now, Kind: kind, Node: id})
+	}
 }
 
 // recordInvalid traces a rejected transmission, tolerating schedulers
@@ -484,14 +585,32 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 	if ch == frame.ChannelB {
 		inj = e.opts.InjectorB
 	}
-	ok := !inj.Corrupts(frame.WireBits(m.Bytes()))
+	var ok bool
+	blackedOut := e.scn != nil && e.scn.BlackedOut(ch, start)
+	switch {
+	case blackedOut:
+		// A blacked-out channel loses every frame; the injector is not
+		// consulted (its statistics cover transient faults only).
+		ok = false
+	default:
+		bits := frame.WireBits(m.Bytes())
+		if tv, timed := inj.(fault.TimeVarying); timed {
+			ok = !tv.CorruptsAt(bits, start)
+		} else {
+			ok = !inj.Corrupts(bits)
+		}
+	}
 	if !ok {
 		if measured {
 			e.col.Fault()
 		}
+		detail := ""
+		if blackedOut {
+			detail = "blackout"
+		}
 		e.record(trace.Event{
 			Time: end, Kind: trace.EventFault, FrameID: m.ID, Seq: in.Seq,
-			Node: m.Node, Channel: ch,
+			Node: m.Node, Channel: ch, Detail: detail,
 		})
 	} else if !in.Done {
 		in.Done = true

@@ -11,10 +11,12 @@ import (
 	"fmt"
 
 	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/node"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/timebase"
 	"github.com/flexray-go/coefficient/internal/topology"
+	"github.com/flexray-go/coefficient/internal/trace"
 )
 
 // Errors returned by the engine.
@@ -51,6 +53,13 @@ type Env struct {
 	// Cluster is the validated topology; schedulers consult it before
 	// placing a frame on a channel the node may not be attached to.
 	Cluster topology.Cluster
+	// Trace is the run's recorder; schedulers may record policy events
+	// (replans, failovers, shedding).  May be nil — trace.Recorder methods
+	// are nil-safe.
+	Trace *trace.Recorder
+	// Gauges exposes the metrics collector's adaptive-controller gauges
+	// for schedulers to update.  Nil-safe via the gauge methods.
+	Gauges *metrics.AdaptiveGauges
 }
 
 // Attached reports whether the node is attached to the channel.

@@ -34,6 +34,19 @@ const (
 	EventDrop
 	// EventDeadlineMiss marks an instance delivered after its deadline.
 	EventDeadlineMiss
+	// EventReplan marks the adaptive controller recomputing the
+	// retransmission plan at a new observed BER.
+	EventReplan
+	// EventFailover marks dual-channel failover being activated or
+	// deactivated for a suspect channel.
+	EventFailover
+	// EventShed marks a message being shed from (or restored to) service
+	// by criticality-ordered load shedding.
+	EventShed
+	// EventNodeDown marks a node entering a scripted failure interval.
+	EventNodeDown
+	// EventNodeUp marks a failed node rejoining the cluster.
+	EventNodeUp
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +66,16 @@ func (k EventKind) String() string {
 		return "drop"
 	case EventDeadlineMiss:
 		return "deadline-miss"
+	case EventReplan:
+		return "replan"
+	case EventFailover:
+		return "failover"
+	case EventShed:
+		return "shed"
+	case EventNodeDown:
+		return "node-down"
+	case EventNodeUp:
+		return "node-up"
 	default:
 		return "unknown"
 	}
