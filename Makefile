@@ -14,12 +14,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
-# Short fuzz pass over the scenario-DSL parser (satellite of the fault
-# scenario engine); FUZZTIME can be raised for deeper runs.
+# Short fuzz passes over the scenario-DSL parser and the wire-format
+# decoder; FUZZTIME can be raised for deeper runs.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/scenario/
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/frame/
 
 ci: vet build test race

@@ -33,10 +33,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation or all")
+		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation, timing or all")
 		quick  = fs.Bool("quick", false, "shrink horizons/batches for a fast smoke run")
 		seed   = fs.Uint64("seed", 1, "deterministic seed for arrivals and fault injection")
 		scnArg = fs.String("scenario", "", "fault-scenario JSON file for the degradation experiment (default: built-in BER step + blackout)")
+		drift  = fs.Float64("drift", 100, "oscillator drift bound in ppm for the timing experiment")
+		guards = fs.String("guardians", "both", "bus-guardian variants for the timing experiment: both, on or off")
 		format = fs.String("format", "table", "output format: table, csv or json")
 		output = fs.String("output", "", "write to this file instead of stdout")
 		svgDir = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
@@ -68,11 +70,11 @@ func run(args []string) error {
 
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt", "degradation"}
+		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt", "degradation", "timing"}
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		tbl, chart, err := runOne(name, *quick, *seed, scn)
+		tbl, chart, err := runOne(name, *quick, *seed, scn, *drift, *guards)
 		if err != nil {
 			return err
 		}
@@ -101,8 +103,16 @@ func writeSVG(dir, name string, chart *plot.Chart) error {
 	return chart.WriteSVG(f)
 }
 
-func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario) (experiment.Table, *plot.Chart, error) {
+func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift float64, guardians string) (experiment.Table, *plot.Chart, error) {
 	switch name {
+	case "timing":
+		rows, err := experiment.TimingFault(experiment.TimingFaultOptions{
+			Seed: seed, Quick: quick, DriftPPM: drift, Guardians: guardians,
+		})
+		if err != nil {
+			return experiment.Table{}, nil, err
+		}
+		return experiment.TimingFaultTable(rows), nil, nil
 	case "degradation":
 		rows, err := experiment.Degradation(experiment.DegradationOptions{
 			Scenario: scn, Seed: seed, Quick: quick,

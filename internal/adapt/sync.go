@@ -1,0 +1,104 @@
+package adapt
+
+// SyncMonitor carries clock-synchronization health from the simulator's
+// timing layer into the adaptive controller's decision loop, so sync loss
+// can be treated like a channel blackout: while the cluster's clocks are
+// outside the precision bound the schedule itself is unreliable — replanning
+// retransmission budgets against a schedule nobody agrees on is wasted
+// work, and failover keeps safety-critical static traffic served while the
+// FTM loop pulls the cluster back together.
+//
+// All methods are nil-safe: schedulers running without local clocks see a
+// nil monitor and every query reports a healthy cluster.
+type SyncMonitor struct {
+	// boundMT is the precision bound in macroticks.
+	boundMT float64
+	// lost reports whether the most recent double-cycle check found the
+	// cluster outside the bound (or a node lost its sync-frame view).
+	lost bool
+	// maxOffsetMT is the largest inter-node offset seen over the run.
+	maxOffsetMT float64
+	// lastOffsetMT is the most recent double-cycle's precision reading.
+	lastOffsetMT float64
+	// lossEvents counts double-cycle checks that found sync loss.
+	lossEvents int64
+	// containments counts guardian vetoes reported to the monitor.
+	containments int64
+}
+
+// NewSyncMonitor returns a monitor with the given precision bound in
+// macroticks.
+func NewSyncMonitor(boundMT float64) *SyncMonitor {
+	return &SyncMonitor{boundMT: boundMT}
+}
+
+// ObserveDoubleCycle feeds one double-cycle sync check: the cluster's
+// current precision (largest inter-node offset magnitude, macroticks) and
+// how many per-node sync-loss events the check raised.
+func (m *SyncMonitor) ObserveDoubleCycle(precisionMT float64, lossEvents int) {
+	if m == nil {
+		return
+	}
+	if precisionMT < 0 {
+		precisionMT = -precisionMT
+	}
+	m.lastOffsetMT = precisionMT
+	if precisionMT > m.maxOffsetMT {
+		m.maxOffsetMT = precisionMT
+	}
+	m.lost = lossEvents > 0 || (m.boundMT > 0 && precisionMT > m.boundMT)
+	if m.lost {
+		m.lossEvents++
+	}
+}
+
+// ObserveContainment feeds one guardian-containment event.
+func (m *SyncMonitor) ObserveContainment() {
+	if m == nil {
+		return
+	}
+	m.containments++
+}
+
+// Lost reports whether the cluster currently looks out of sync.
+func (m *SyncMonitor) Lost() bool { return m != nil && m.lost }
+
+// Bound returns the precision bound in macroticks (0 on a nil monitor).
+func (m *SyncMonitor) Bound() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.boundMT
+}
+
+// MaxOffset returns the largest precision reading seen, in macroticks.
+func (m *SyncMonitor) MaxOffset() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.maxOffsetMT
+}
+
+// LastOffset returns the most recent precision reading, in macroticks.
+func (m *SyncMonitor) LastOffset() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.lastOffsetMT
+}
+
+// LossEvents returns how many double-cycle checks found sync loss.
+func (m *SyncMonitor) LossEvents() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.lossEvents
+}
+
+// Containments returns how many guardian vetoes were reported.
+func (m *SyncMonitor) Containments() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.containments
+}

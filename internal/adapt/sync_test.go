@@ -1,0 +1,66 @@
+package adapt
+
+import "testing"
+
+func TestSyncMonitorNilSafe(t *testing.T) {
+	var m *SyncMonitor
+	m.ObserveDoubleCycle(99, 3)
+	m.ObserveContainment()
+	if m.Lost() || m.MaxOffset() != 0 || m.LastOffset() != 0 ||
+		m.LossEvents() != 0 || m.Containments() != 0 || m.Bound() != 0 {
+		t.Fatal("nil SyncMonitor must report a healthy cluster")
+	}
+}
+
+func TestSyncMonitorBoundViolation(t *testing.T) {
+	m := NewSyncMonitor(10)
+	m.ObserveDoubleCycle(4, 0)
+	if m.Lost() {
+		t.Fatal("within bound, no loss events: should not be lost")
+	}
+	m.ObserveDoubleCycle(12, 0)
+	if !m.Lost() {
+		t.Fatal("precision 12 > bound 10: should be lost")
+	}
+	if m.LossEvents() != 1 {
+		t.Fatalf("LossEvents = %d, want 1", m.LossEvents())
+	}
+	// Recovery clears the lost flag but not the max.
+	m.ObserveDoubleCycle(3, 0)
+	if m.Lost() {
+		t.Fatal("back within bound: should have recovered")
+	}
+	if m.MaxOffset() != 12 {
+		t.Fatalf("MaxOffset = %v, want 12", m.MaxOffset())
+	}
+	if m.LastOffset() != 3 {
+		t.Fatalf("LastOffset = %v, want 3", m.LastOffset())
+	}
+}
+
+func TestSyncMonitorExplicitLossEvents(t *testing.T) {
+	m := NewSyncMonitor(10)
+	// Per-node sync loss (e.g. sync-frame suppression) marks the cluster
+	// lost even when the measured precision looks fine.
+	m.ObserveDoubleCycle(1, 2)
+	if !m.Lost() {
+		t.Fatal("explicit loss events must mark the cluster lost")
+	}
+}
+
+func TestSyncMonitorNegativePrecisionFolded(t *testing.T) {
+	m := NewSyncMonitor(10)
+	m.ObserveDoubleCycle(-15, 0)
+	if !m.Lost() || m.MaxOffset() != 15 {
+		t.Fatalf("magnitude folding failed: lost=%v max=%v", m.Lost(), m.MaxOffset())
+	}
+}
+
+func TestSyncMonitorContainments(t *testing.T) {
+	m := NewSyncMonitor(0)
+	m.ObserveContainment()
+	m.ObserveContainment()
+	if m.Containments() != 2 {
+		t.Fatalf("Containments = %d, want 2", m.Containments())
+	}
+}

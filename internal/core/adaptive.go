@@ -118,12 +118,21 @@ func (s *Scheduler) adaptTick(now timebase.Macrotick) {
 		}
 	}
 
-	active := s.ctl.Suspect(frame.ChannelA) && !s.opts.SingleChannel
+	// Sync loss is a blackout of the *schedule*: while the cluster's
+	// clocks disagree beyond the precision bound, slot boundaries are
+	// unreliable on every channel, so failover serves the static owners
+	// redundantly and replanning is suppressed (the estimator's window is
+	// dominated by timing losses, not by the physical BER).
+	syncLost := s.env.Sync.Lost()
+	active := (s.ctl.Suspect(frame.ChannelA) || syncLost) && !s.opts.SingleChannel
 	if active != s.failoverActive {
 		s.failoverActive = active
 		detail := "off"
 		if active {
 			detail = "on"
+			if syncLost && !s.ctl.Suspect(frame.ChannelA) {
+				detail = "sync-loss"
+			}
 			s.env.Gauges.Failover()
 		}
 		s.env.Trace.Record(trace.Event{
@@ -139,7 +148,7 @@ func (s *Scheduler) adaptTick(now timebase.Macrotick) {
 	// outage, which no retransmission count fixes — failover handles it,
 	// and the estimate decays back to the physical BER once the channel
 	// returns.
-	if s.ctl.Suspect(frame.ChannelA) {
+	if s.ctl.Suspect(frame.ChannelA) || syncLost {
 		return
 	}
 	if newBER, ok := s.ctl.ReplanBER(frame.ChannelA, now); ok {

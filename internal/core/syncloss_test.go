@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/core"
+	"github.com/flexray-go/coefficient/internal/trace"
+)
+
+// Cluster-wide sync-frame suppression must engage failover through the sync
+// monitor — the schedule itself is untrustworthy, which the adaptive layer
+// treats like a blackout (redundant static service, replans suppressed) —
+// and disengage once the nodes halt, reintegrate and resynchronize.
+func TestAdaptiveFailoverOnSyncLoss(t *testing.T) {
+	scn := parseScenario(t, `{
+		"name": "sync-blackout",
+		"timing": {
+			"syncLoss": [
+				{"node": 0, "start": "30ms", "end": "60ms"},
+				{"node": 1, "start": "30ms", "end": "60ms"},
+				{"node": 2, "start": "30ms", "end": "60ms"}
+			]
+		}
+	}`)
+	opts := core.Options{BER: 1e-7, Goal: 0.9, Adaptive: true}
+	sched := core.New(opts)
+	rec := trace.New()
+	res := runScenario(t, sched, staticTriple(), scn, 3, 200*time.Millisecond, rec)
+
+	if res.Report.Sync.SyncLossEvents == 0 {
+		t.Fatal("suppressing every sync sender caused no sync-loss events")
+	}
+	fo := rec.Filter(func(ev trace.Event) bool { return ev.Kind == trace.EventFailover })
+	if len(fo) == 0 {
+		t.Fatal("no failover events despite cluster-wide sync loss")
+	}
+	if fo[0].Detail != "sync-loss" {
+		t.Errorf("first failover detail %q, want sync-loss (channel A is healthy)",
+			fo[0].Detail)
+	}
+	if fo[len(fo)-1].Detail != "off" {
+		t.Errorf("last failover detail %q, want off after resynchronization",
+			fo[len(fo)-1].Detail)
+	}
+	if sched.FailoverActive() {
+		t.Error("failover still active after the cluster resynchronized")
+	}
+	if res.Report.Sync.Reintegrations == 0 {
+		t.Error("no node reintegrated after the sync outage")
+	}
+}

@@ -239,6 +239,61 @@ func TestAblationsSweep(t *testing.T) {
 	}
 }
 
+func TestTimingFaultExperiment(t *testing.T) {
+	rows, err := TimingFault(TimingFaultOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("TimingFault: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(rows))
+	}
+	byName := make(map[string]TimingFaultRow, len(rows))
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	// The FTM loop must hold the cluster inside the precision bound
+	// (LatencySetup: 25-macrotick slots, bound 25/4 = 6 MT) without any
+	// degradation; unsynchronized the same oscillators must lose sync.
+	ftm := byName["drift+FTM"]
+	if ftm.Sync.Corrections == 0 || ftm.Sync.MaxOffsetMacroticks > 6 {
+		t.Errorf("drift+FTM: corrections=%d maxOffset=%.2f, want corrections>0 and ≤6 MT",
+			ftm.Sync.Corrections, ftm.Sync.MaxOffsetMacroticks)
+	}
+	if ftm.Sync.SyncLossEvents != 0 {
+		t.Errorf("drift+FTM lost sync %d times", ftm.Sync.SyncLossEvents)
+	}
+	if byName["drift unsynced"].Sync.SyncLossEvents == 0 {
+		t.Error("unsynchronized drift caused no sync loss")
+	}
+	// The babbling-idiot acceptance check: guardians contain the babble and
+	// the static segment misses nothing; without them deadlines are missed.
+	g := byName["babble+guardian"]
+	ng := byName["babble no-guardian"]
+	if g.Sync.GuardianBlocks == 0 {
+		t.Error("guardians blocked nothing during the babble episode")
+	}
+	if g.StaticMiss != 0 {
+		t.Errorf("guarded static miss ratio %g, want 0", g.StaticMiss)
+	}
+	if ng.StaticMiss <= g.StaticMiss {
+		t.Errorf("unguarded static miss %g not above guarded %g", ng.StaticMiss, g.StaticMiss)
+	}
+	if !contains(TimingFaultTable(rows).String(), "babble+guardian") {
+		t.Error("TimingFaultTable missing variant column")
+	}
+
+	only, err := TimingFault(TimingFaultOptions{Seed: 1, Quick: true, Guardians: "on"})
+	if err != nil {
+		t.Fatalf("TimingFault(on): %v", err)
+	}
+	if len(only) != 3 {
+		t.Errorf("guardians=on rows = %d, want 3 (no-guardian babble row dropped)", len(only))
+	}
+	if _, err := TimingFault(TimingFaultOptions{Guardians: "sometimes"}); !errors.Is(err, ErrSetup) {
+		t.Errorf("bad guardians value = %v, want ErrSetup", err)
+	}
+}
+
 func TestLatencySetupRejectsInfeasibleDeadlines(t *testing.T) {
 	set := signal.Set{Name: "tight", Messages: []signal.Message{{
 		ID: 1, Name: "sub-cycle", Node: 0, Kind: signal.Periodic,

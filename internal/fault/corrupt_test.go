@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+)
+
+func popcount(buf []byte) int {
+	n := 0
+	for _, b := range buf {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+func TestFlipBitsFlipsExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		buf := make([]byte, 16)
+		FlipBits(buf, NewRNG(uint64(n)), n)
+		if got := popcount(buf); got != n {
+			t.Fatalf("n=%d: %d bits set, want %d (flips must be distinct)", n, got, n)
+		}
+	}
+}
+
+func TestFlipBitsDeterministic(t *testing.T) {
+	a := make([]byte, 10)
+	b := make([]byte, 10)
+	FlipBits(a, NewRNG(42), 3)
+	FlipBits(b, NewRNG(42), 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must flip the same bits")
+	}
+}
+
+func TestFlipBitsClampsToBufferSize(t *testing.T) {
+	buf := []byte{0}
+	FlipBits(buf, NewRNG(1), 100)
+	if buf[0] != 0xFF {
+		t.Fatalf("flipping more bits than exist must saturate: got %08b", buf[0])
+	}
+}
+
+func TestFlipBitsEmptyAndZero(t *testing.T) {
+	FlipBits(nil, NewRNG(1), 3) // must not panic
+	buf := []byte{0xAA}
+	FlipBits(buf, NewRNG(1), 0)
+	if buf[0] != 0xAA {
+		t.Fatal("n=0 must be a no-op")
+	}
+}

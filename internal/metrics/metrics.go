@@ -145,6 +145,8 @@ type Collector struct {
 	makespan timebase.Macrotick
 	// adaptive holds the reliability controller's gauges.
 	adaptive AdaptiveGauges
+	// sync holds the clock-synchronization health gauges.
+	sync SyncGauges
 }
 
 // AdaptiveGauges exposes the adaptive reliability controller's counters
@@ -219,6 +221,114 @@ func (g AdaptiveGauges) snapshot() AdaptiveGauges {
 // Adaptive returns the collector's adaptive gauges for schedulers to
 // update in place.
 func (c *Collector) Adaptive() *AdaptiveGauges { return &c.adaptive }
+
+// SyncGauges exposes clock-synchronization health: how hard the FTM loop is
+// working and whether containment machinery fired.  The simulator's timing
+// layer updates it in place; runs without local clocks leave it zero.
+type SyncGauges struct {
+	// SyncFrames counts sync-frame deviation measurements consumed by the
+	// FTM correction loop.
+	SyncFrames int64
+	// Corrections counts applied offset corrections.
+	Corrections int64
+	// MaxOffsetMacroticks is the largest observed inter-node clock offset
+	// magnitude, in macroticks.
+	MaxOffsetMacroticks float64
+	// MaxCorrectionMacroticks is the largest applied offset-correction
+	// magnitude, in macroticks.
+	MaxCorrectionMacroticks float64
+	// GuardianBlocks counts transmissions vetoed by a bus guardian.
+	GuardianBlocks int64
+	// SyncLossEvents counts nodes exceeding the precision bound (or losing
+	// their sync-frame view) per double-cycle check.
+	SyncLossEvents int64
+	// PassiveTransitions counts normal-active → normal-passive demotions.
+	PassiveTransitions int64
+	// Halts counts normal-passive → halt transitions.
+	Halts int64
+	// Reintegrations counts halted nodes that rejoined via startup.
+	Reintegrations int64
+}
+
+// SyncFrame counts n sync-frame deviation measurements.
+func (g *SyncGauges) SyncFrame(n int) {
+	if g == nil {
+		return
+	}
+	g.SyncFrames += int64(n)
+}
+
+// Correction records one applied offset correction of the given magnitude
+// in macroticks.
+func (g *SyncGauges) Correction(magnitudeMT float64) {
+	if g == nil {
+		return
+	}
+	g.Corrections++
+	if magnitudeMT < 0 {
+		magnitudeMT = -magnitudeMT
+	}
+	if magnitudeMT > g.MaxCorrectionMacroticks {
+		g.MaxCorrectionMacroticks = magnitudeMT
+	}
+}
+
+// ObserveOffset records an inter-node clock offset reading in macroticks.
+func (g *SyncGauges) ObserveOffset(offsetMT float64) {
+	if g == nil {
+		return
+	}
+	if offsetMT < 0 {
+		offsetMT = -offsetMT
+	}
+	if offsetMT > g.MaxOffsetMacroticks {
+		g.MaxOffsetMacroticks = offsetMT
+	}
+}
+
+// GuardianBlock counts one bus-guardian veto.
+func (g *SyncGauges) GuardianBlock() {
+	if g == nil {
+		return
+	}
+	g.GuardianBlocks++
+}
+
+// SyncLoss counts one precision-bound violation.
+func (g *SyncGauges) SyncLoss() {
+	if g == nil {
+		return
+	}
+	g.SyncLossEvents++
+}
+
+// Passive counts one demotion to normal-passive.
+func (g *SyncGauges) Passive() {
+	if g == nil {
+		return
+	}
+	g.PassiveTransitions++
+}
+
+// Halt counts one transition to the halt state.
+func (g *SyncGauges) Halt() {
+	if g == nil {
+		return
+	}
+	g.Halts++
+}
+
+// Reintegration counts one halted node rejoining the cluster.
+func (g *SyncGauges) Reintegration() {
+	if g == nil {
+		return
+	}
+	g.Reintegrations++
+}
+
+// SyncHealth returns the collector's sync gauges for the simulator's timing
+// layer to update in place.
+func (c *Collector) SyncHealth() *SyncGauges { return &c.sync }
 
 // NewCollector returns a collector for simulations under cfg.
 func NewCollector(cfg timebase.Config) *Collector {
@@ -325,6 +435,9 @@ type Report struct {
 	// Adaptive holds the adaptive reliability controller's gauges (all
 	// zero for schedulers without a controller).
 	Adaptive AdaptiveGauges
+	// Sync holds the clock-synchronization health gauges (all zero for
+	// runs without local clocks).
+	Sync SyncGauges
 }
 
 // Report summarizes the collected measurements.
@@ -341,6 +454,7 @@ func (c *Collector) Report() Report {
 		Retransmissions:   c.retransmissions,
 		Faults:            c.faults,
 		Adaptive:          c.adaptive.snapshot(),
+		Sync:              c.sync,
 	}
 	if c.channelMT > 0 {
 		r.BandwidthUtilization = float64(c.busyMT) / float64(c.channelMT)

@@ -1,0 +1,50 @@
+package node
+
+import "testing"
+
+func TestGuardianNilPermitsEverything(t *testing.T) {
+	var g *Guardian
+	if !g.PermitStatic(5, 1000, 0) {
+		t.Fatal("nil guardian must permit everything")
+	}
+	if g.Owns(5) {
+		t.Fatal("nil guardian owns nothing")
+	}
+}
+
+func TestGuardianOwnedSlotAligned(t *testing.T) {
+	g := NewGuardian([]int{2, 7}, 3)
+	if !g.PermitStatic(2, 100, 100) {
+		t.Fatal("aligned tx in owned slot must pass")
+	}
+	if !g.PermitStatic(7, 352, 350) {
+		t.Fatal("tx within tolerance must pass")
+	}
+	if !g.PermitStatic(7, 347, 350) {
+		t.Fatal("early tx within tolerance must pass")
+	}
+}
+
+func TestGuardianBlocksForeignSlot(t *testing.T) {
+	g := NewGuardian([]int{2}, 3)
+	if g.PermitStatic(5, 250, 250) {
+		t.Fatal("guardian must block transmission in a slot the node does not own")
+	}
+}
+
+func TestGuardianBlocksMisalignedTx(t *testing.T) {
+	g := NewGuardian([]int{2}, 3)
+	if g.PermitStatic(2, 104, 100) {
+		t.Fatal("tx 4 MT past the boundary with tolerance 3 must be blocked")
+	}
+	if g.PermitStatic(2, 96, 100) {
+		t.Fatal("tx 4 MT early with tolerance 3 must be blocked")
+	}
+}
+
+func TestGuardianOwns(t *testing.T) {
+	g := NewGuardian([]int{1, 9}, 0)
+	if !g.Owns(1) || !g.Owns(9) || g.Owns(2) {
+		t.Fatal("Owns must reflect the schedule table")
+	}
+}

@@ -24,6 +24,17 @@ type Runtime struct {
 	injectors map[frame.Channel]*fault.Profile
 	blackouts map[frame.Channel][]mtSpan
 	nodes     map[int][]mtSpan
+	// driftSteps maps node IDs to oscillator re-rates sorted by time.
+	driftSteps map[int][]driftAt
+	// syncLoss and babble map node IDs to sorted fault windows.
+	syncLoss map[int][]mtSpan
+	babble   map[int][]mtSpan
+}
+
+// driftAt is one compiled oscillator re-rate.
+type driftAt struct {
+	at  timebase.Macrotick
+	ppm float64
 }
 
 // mtSpan is a half-open macrotick window [start, end).
@@ -43,10 +54,13 @@ func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{
-		name:      s.Name,
-		injectors: make(map[frame.Channel]*fault.Profile),
-		blackouts: make(map[frame.Channel][]mtSpan),
-		nodes:     make(map[int][]mtSpan),
+		name:       s.Name,
+		injectors:  make(map[frame.Channel]*fault.Profile),
+		blackouts:  make(map[frame.Channel][]mtSpan),
+		nodes:      make(map[int][]mtSpan),
+		driftSteps: make(map[int][]driftAt),
+		syncLoss:   make(map[int][]mtSpan),
+		babble:     make(map[int][]mtSpan),
 	}
 	for key, ch := range s.Channels {
 		fc := frame.ChannelA
@@ -81,7 +95,40 @@ func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
 	for id := range rt.nodes {
 		sortSpans(rt.nodes[id])
 	}
+	if s.Timing != nil {
+		for _, st := range s.Timing.DriftSteps {
+			rt.driftSteps[st.Node] = append(rt.driftSteps[st.Node], driftAt{
+				at:  cfg.FromDuration(st.At.Std()),
+				ppm: st.PPM,
+			})
+		}
+		for id := range rt.driftSteps {
+			steps := rt.driftSteps[id]
+			sort.Slice(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+		}
+		rt.syncLoss = compileNodeWindows(s.Timing.SyncLoss, cfg)
+		rt.babble = compileNodeWindows(s.Timing.Babble, cfg)
+	}
 	return rt, nil
+}
+
+// compileNodeWindows converts per-node fault windows to macroticks.
+func compileNodeWindows(windows []NodeWindow, cfg timebase.Config) map[int][]mtSpan {
+	out := make(map[int][]mtSpan, len(windows))
+	for _, w := range windows {
+		end := fault.OpenEnd
+		if w.End > 0 {
+			end = cfg.FromDuration(w.End.Std())
+		}
+		out[w.Node] = append(out[w.Node], mtSpan{
+			start: cfg.FromDuration(w.Start.Std()),
+			end:   end,
+		})
+	}
+	for id := range out {
+		sortSpans(out[id])
+	}
+	return out
 }
 
 func sortSpans(spans []mtSpan) {
@@ -171,6 +218,59 @@ func (r *Runtime) BlackedOut(ch frame.Channel, t timebase.Macrotick) bool {
 // NodeDown reports whether the node is inside a scripted down interval at t.
 func (r *Runtime) NodeDown(id int, t timebase.Macrotick) bool {
 	for _, sp := range r.nodes[id] {
+		if t < sp.start {
+			return false
+		}
+		if sp.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// DriftPPM returns the node's scripted oscillator error at t and true when
+// a drift step has taken effect; false means the node keeps its default
+// drift.
+func (r *Runtime) DriftPPM(id int, t timebase.Macrotick) (float64, bool) {
+	ppm, ok := 0.0, false
+	for _, st := range r.driftSteps[id] {
+		if st.at > t {
+			break
+		}
+		ppm, ok = st.ppm, true
+	}
+	return ppm, ok
+}
+
+// SyncSuppressed reports whether the node's sync frames are suppressed at t.
+func (r *Runtime) SyncSuppressed(id int, t timebase.Macrotick) bool {
+	return inSpans(r.syncLoss[id], t)
+}
+
+// Babbling reports whether the node is a scripted babbling idiot at t.
+func (r *Runtime) Babbling(id int, t timebase.Macrotick) bool {
+	return inSpans(r.babble[id], t)
+}
+
+// Babblers returns the nodes with scripted babble windows, sorted.
+func (r *Runtime) Babblers() []int {
+	ids := make([]int, 0, len(r.babble))
+	for id := range r.babble {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// HasTimingFaults reports whether the scenario scripts any node-level
+// timing fault; the engine uses it to switch on local clocks even when the
+// run options leave them off.
+func (r *Runtime) HasTimingFaults() bool {
+	return len(r.driftSteps) > 0 || len(r.syncLoss) > 0 || len(r.babble) > 0
+}
+
+func inSpans(spans []mtSpan, t timebase.Macrotick) bool {
+	for _, sp := range spans {
 		if t < sp.start {
 			return false
 		}

@@ -23,11 +23,22 @@
 //	    },
 //	    "B": {"baseBER": 1e-7}
 //	  },
-//	  "nodes": [{"node": 2, "failAt": "20ms", "recoverAt": "50ms"}]
+//	  "nodes": [{"node": 2, "failAt": "20ms", "recoverAt": "50ms"}],
+//	  "timing": {
+//	    "driftSteps": [{"node": 2, "at": "20ms", "ppm": 1500}],
+//	    "syncLoss":   [{"node": 0, "start": "30ms", "end": "60ms"}],
+//	    "babble":     [{"node": 1, "start": "40ms", "end": "70ms"}]
+//	  }
 //	}
 //
 // A step without "end" holds until the end of the run; a node event
-// without "recoverAt" is a permanent crash.
+// without "recoverAt" is a permanent crash; a timing window without "end"
+// holds until the end of the run.  Timing faults require the run to model
+// local clocks (sim.Options.Timing): a drift step re-rates one node's
+// oscillator from "at" onwards, sync-loss windows suppress the node's sync
+// frames (its deviations disappear from everyone's FTM input), and babble
+// windows turn the node into a babbling idiot that drives every static
+// slot — contained by bus guardians when enabled.
 package scenario
 
 import (
@@ -35,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -93,6 +105,34 @@ type Scenario struct {
 	Channels map[string]*Channel `json:"channels,omitempty"`
 	// Nodes lists crash/recovery events.
 	Nodes []NodeEvent `json:"nodes,omitempty"`
+	// Timing lists node-level timing-fault events.
+	Timing *TimingFaults `json:"timing,omitempty"`
+}
+
+// TimingFaults scripts node-level timing misbehavior.
+type TimingFaults struct {
+	// DriftSteps re-rate a node's oscillator at a point in time.
+	DriftSteps []DriftStep `json:"driftSteps,omitempty"`
+	// SyncLoss windows suppress a node's sync frames.
+	SyncLoss []NodeWindow `json:"syncLoss,omitempty"`
+	// Babble windows turn a node into a babbling idiot.
+	Babble []NodeWindow `json:"babble,omitempty"`
+}
+
+// DriftStep sets a node's oscillator error to PPM (parts per million,
+// absolute — not a delta) from At onwards.
+type DriftStep struct {
+	Node int      `json:"node"`
+	At   Duration `json:"at"`
+	PPM  float64  `json:"ppm"`
+}
+
+// NodeWindow is a per-node half-open time window [Start, End).  A zero End
+// holds the window until the end of the run.
+type NodeWindow struct {
+	Node  int      `json:"node"`
+	Start Duration `json:"start"`
+	End   Duration `json:"end,omitempty"`
 }
 
 // Channel is the fault timeline of one channel.
@@ -256,7 +296,52 @@ func (s *Scenario) Validate() error {
 			return err
 		}
 	}
-	return s.validateNodes()
+	if err := s.validateNodes(); err != nil {
+		return err
+	}
+	return s.validateTiming()
+}
+
+func (s *Scenario) validateTiming() error {
+	if s.Timing == nil {
+		return nil
+	}
+	for _, st := range s.Timing.DriftSteps {
+		if st.Node < 0 {
+			return fmt.Errorf("%w: drift step node %d negative", ErrInvalid, st.Node)
+		}
+		if st.At < 0 {
+			return fmt.Errorf("%w: drift step at %v negative", ErrInvalid, st.At.Std())
+		}
+		if math.IsNaN(st.PPM) || math.IsInf(st.PPM, 0) {
+			return fmt.Errorf("%w: drift step ppm %v not finite", ErrInvalid, st.PPM)
+		}
+	}
+	for _, group := range []struct {
+		what    string
+		windows []NodeWindow
+	}{
+		{"sync-loss", s.Timing.SyncLoss},
+		{"babble", s.Timing.Babble},
+	} {
+		perNode := make(map[int][]span)
+		for _, w := range group.windows {
+			if w.Node < 0 {
+				return fmt.Errorf("%w: %s node %d negative", ErrInvalid, group.what, w.Node)
+			}
+			sp, err := checkSpan(fmt.Sprintf("node %d %s", w.Node, group.what), w.Start, w.End, true)
+			if err != nil {
+				return err
+			}
+			perNode[w.Node] = append(perNode[w.Node], sp)
+		}
+		for id, spans := range perNode {
+			if err := checkNoOverlap(fmt.Sprintf("node %d %s", id, group.what), spans); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (ch *Channel) validate(key string) error {

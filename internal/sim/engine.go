@@ -70,6 +70,11 @@ type Options struct {
 	// deterministic injector derived from Seed, overriding
 	// InjectorA/InjectorB.
 	Scenario *scenario.Scenario
+	// Timing optionally gives every node a local drifting clock with FTM
+	// synchronization, POC degradation states and bus guardians.  Nil
+	// keeps the perfect shared macrotick — unless the scenario scripts
+	// timing faults, which switch the layer on with zero-value options.
+	Timing *TimingOptions
 	// Mode selects Streaming or Batch.
 	Mode Mode
 	// Duration is the simulated horizon (Streaming).
@@ -119,6 +124,11 @@ func (o *Options) validate() error {
 	if o.Scenario != nil {
 		if err := o.Scenario.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+	}
+	if o.Timing != nil {
+		if err := o.Timing.validate(); err != nil {
+			return err
 		}
 	}
 	switch o.Mode {
@@ -217,6 +227,11 @@ type engine struct {
 
 	// scn is the compiled fault-scenario timeline (nil without one).
 	scn *scenario.Runtime
+	// timing is the local-clock / guardian layer (nil without one).
+	timing *timingState
+	// crcRNG draws the bit flips of the CRC receive path; consumed only
+	// on corrupted frames, so fault-free runs stay stream-identical.
+	crcRNG *fault.RNG
 	// watchedNodes lists nodes with failure or recovery events, for
 	// node-down/node-up trace transitions; nodeDown is their last state.
 	watchedNodes []int
@@ -295,6 +310,17 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 		}
 	}
 	eng.initNodeWatch()
+	eng.crcRNG = fault.NewRNG(opts.Seed ^ seedCRC)
+	// Scenario-scripted timing faults need the local-clock layer even
+	// when the run options leave it off.
+	if opts.Timing != nil || (eng.scn != nil && eng.scn.HasTimingFaults()) {
+		topts := TimingOptions{}
+		if opts.Timing != nil {
+			topts = *opts.Timing
+		}
+		eng.timing = newTimingState(topts, eng)
+		env.Sync = eng.timing.monitor
+	}
 	env.Trace = opts.Recorder
 	env.Gauges = eng.col.Adaptive()
 	eng.rel = newReleaser(opts, env)
@@ -345,6 +371,9 @@ func (e *engine) run() (Result, error) {
 			e.dropExpired(now)
 		}
 		e.watchNodes(now)
+		if e.timing != nil {
+			e.timing.cycleStart(e, cycle, now)
+		}
 		e.sched.CycleStart(cycle, now)
 		for _, ecu := range e.env.ECUs {
 			ecu.ResetSlotCounters()
@@ -352,6 +381,13 @@ func (e *engine) run() (Result, error) {
 
 		e.runStaticSegment(cycle)
 		e.runDynamicSegment(cycle)
+
+		// FTM sync runs per double-cycle in the network idle time of the
+		// odd cycle, after all traffic of the cycle.
+		if e.timing != nil && cycle%2 == 1 {
+			nit := cfg.CycleStart(cycle+1) - cfg.NetworkIdleLen()
+			e.timing.endOfDoubleCycle(e, cycle, nit)
+		}
 
 		if now >= e.warmup {
 			e.col.ChannelTime(2 * cfg.MacroPerCycle)
@@ -395,7 +431,18 @@ func (e *engine) runStaticSegment(cycle int64) {
 	cfg := e.opts.Config
 	for slot := 1; slot <= cfg.StaticSlots; slot++ {
 		slotStart := cfg.StaticSlotStart(cycle, slot)
+		ownerNode := -1
+		if m, ok := e.env.StaticMsgs[slot]; ok {
+			ownerNode = m.Node
+		}
 		for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+			// A scripted babbling idiot drives every slot it does not
+			// own; uncontained, it collides with the slot's legitimate
+			// frame.
+			collision := false
+			if e.timing != nil {
+				collision = e.timing.babbleCollision(e, cycle, slot, ch, slotStart, ownerNode)
+			}
 			tx := e.sched.StaticSlot(ch, cycle, slot, slotStart)
 			if tx == nil {
 				continue
@@ -407,7 +454,26 @@ func (e *engine) runStaticSegment(cycle int64) {
 				e.recordInvalid(tx, ch, slotStart, err)
 				continue
 			}
-			e.transmit(tx, ch, slotStart)
+			forced := ""
+			if e.timing != nil {
+				blocked, f := e.timing.staticGate(tx.Instance.Msg.Node, slotStart)
+				if blocked {
+					e.timing.gauges.GuardianBlock()
+					e.timing.monitor.ObserveContainment()
+					e.record(trace.Event{
+						Time: slotStart, Kind: trace.EventGuardianBlock,
+						FrameID: tx.Instance.Msg.ID, Seq: tx.Instance.Seq,
+						Node: tx.Instance.Msg.Node, Channel: ch, Detail: "misaligned",
+					})
+					e.sched.Result(tx, false, slotStart+tx.Duration)
+					continue
+				}
+				forced = f
+			}
+			if collision {
+				forced = "babble-collision"
+			}
+			e.transmit(tx, ch, slotStart, forced)
 		}
 	}
 }
@@ -456,7 +522,7 @@ func (e *engine) runDynamicSegment(cycle int64) {
 				slotCounter++
 				continue
 			}
-			e.transmit(tx, ch, now+cfg.MinislotActionPointOffset)
+			e.transmit(tx, ch, now+cfg.MinislotActionPointOffset, "")
 			minislot += need
 			slotCounter++
 		}
@@ -547,8 +613,10 @@ func (e *engine) recordInvalid(tx *Transmission, ch frame.Channel, at timebase.M
 }
 
 // transmit puts a frame on the wire at `start`, injects faults, updates
-// metrics and informs the scheduler.
-func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Macrotick) {
+// metrics and informs the scheduler.  forced is a non-empty fault detail
+// when the timing layer already doomed the transmission (babble collision,
+// misalignment); the injector is then not consulted.
+func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Macrotick, forced string) {
 	in := tx.Instance
 	m := in.Msg
 	end := start + tx.Duration
@@ -562,6 +630,18 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 		})
 		e.sched.Result(tx, false, end)
 		return
+	}
+	// A node degraded to normal-passive or halt keeps the bus clean by
+	// not transmitting at all; like a failed node, its slot stays silent.
+	if e.timing != nil {
+		if detail := e.timing.silenced(m.Node); detail != "" {
+			e.record(trace.Event{
+				Time: start, Kind: trace.EventDrop, FrameID: m.ID, Seq: in.Seq,
+				Node: m.Node, Channel: ch, Detail: detail,
+			})
+			e.sched.Result(tx, false, end)
+			return
+		}
 	}
 	in.Attempts++
 
@@ -586,27 +666,37 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 		inj = e.opts.InjectorB
 	}
 	var ok bool
+	detail := ""
 	blackedOut := e.scn != nil && e.scn.BlackedOut(ch, start)
 	switch {
 	case blackedOut:
 		// A blacked-out channel loses every frame; the injector is not
 		// consulted (its statistics cover transient faults only).
 		ok = false
+		detail = "blackout"
+	case forced != "":
+		// The timing layer already doomed the frame (babble collision or
+		// misaligned start): receivers never see a valid frame boundary.
+		ok = false
+		detail = forced
 	default:
 		bits := frame.WireBits(m.Bytes())
+		corrupted := false
 		if tv, timed := inj.(fault.TimeVarying); timed {
-			ok = !tv.CorruptsAt(bits, start)
+			corrupted = tv.CorruptsAt(bits, start)
 		} else {
-			ok = !inj.Corrupts(bits)
+			corrupted = inj.Corrupts(bits)
+		}
+		ok = !corrupted
+		if corrupted {
+			// The receive path decides the corrupted frame's fate by
+			// checksum over a real bit-flipped wire image, not by fiat.
+			ok, detail = e.crcOutcome(m, ch, start)
 		}
 	}
 	if !ok {
 		if measured {
 			e.col.Fault()
-		}
-		detail := ""
-		if blackedOut {
-			detail = "blackout"
 		}
 		e.record(trace.Event{
 			Time: end, Kind: trace.EventFault, FrameID: m.ID, Seq: in.Seq,

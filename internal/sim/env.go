@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/flexray-go/coefficient/internal/adapt"
 	"github.com/flexray-go/coefficient/internal/frame"
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/node"
@@ -60,6 +61,11 @@ type Env struct {
 	// Gauges exposes the metrics collector's adaptive-controller gauges
 	// for schedulers to update.  Nil-safe via the gauge methods.
 	Gauges *metrics.AdaptiveGauges
+	// Sync exposes the timing layer's clock-synchronization health so the
+	// adaptive scheduler can treat sync loss like a blackout.  Nil when
+	// the run models a perfect shared macrotick; all methods are
+	// nil-safe.
+	Sync *adapt.SyncMonitor
 }
 
 // Attached reports whether the node is attached to the channel.

@@ -238,6 +238,21 @@ func allUp(states []*nodeState) bool {
 	return true
 }
 
+// ReintegrationCycles returns how many communication cycles a halted node
+// needs before it can rejoin a running cluster: the randomized listen
+// window (mirroring Simulate's listen-timeout draw) plus the two
+// double-cycles of consistent sync-frame observation that integration
+// requires.  The caller mixes the node identity and halt instance into
+// seed so repeated halts of the same node draw fresh timeouts while the
+// whole run stays deterministic.
+func ReintegrationCycles(seed uint64, listenRange int) int {
+	if listenRange <= 0 {
+		listenRange = 8
+	}
+	rng := fault.NewRNG(seed ^ 0x57A27)
+	return 2 + rng.Intn(listenRange) + 4
+}
+
 // WakeupNode configures one member for the wakeup simulation.
 type WakeupNode struct {
 	// Name labels the node.

@@ -47,6 +47,18 @@ const (
 	EventNodeDown
 	// EventNodeUp marks a failed node rejoining the cluster.
 	EventNodeUp
+	// EventClockCorrection marks a node applying an FTM offset correction
+	// in network idle time (Seq carries the correction in microticks).
+	EventClockCorrection
+	// EventSyncLoss marks a node's clock deviation exceeding the precision
+	// bound, or its sync-frame view going dark.
+	EventSyncLoss
+	// EventGuardianBlock marks a bus guardian vetoing a transmission
+	// outside the node's scheduled window.
+	EventGuardianBlock
+	// EventPOCState marks a node's protocol operation control state change
+	// (Detail carries the new state, e.g. "normal-passive").
+	EventPOCState
 )
 
 // String implements fmt.Stringer.
@@ -76,6 +88,14 @@ func (k EventKind) String() string {
 		return "node-down"
 	case EventNodeUp:
 		return "node-up"
+	case EventClockCorrection:
+		return "clock-correction"
+	case EventSyncLoss:
+		return "sync-loss"
+	case EventGuardianBlock:
+		return "guardian-block"
+	case EventPOCState:
+		return "poc-state"
 	default:
 		return "unknown"
 	}
