@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz ci
+.PHONY: all vet build test race fuzz bench ci
 
 all: ci
 
@@ -22,5 +22,14 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/scenario/
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/frame/
+
+# Time every experiment serial vs parallel and write one
+# BENCH_<experiment>.json per experiment into BENCHDIR.  The run aborts
+# if any parallel table differs from its serial counterpart.  BENCHFLAGS
+# defaults to a quick sweep; unset it for full-length horizons.
+BENCHDIR ?= results
+BENCHFLAGS ?= -quick
+bench: build
+	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(BENCHDIR)
 
 ci: vet build test race

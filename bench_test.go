@@ -19,6 +19,7 @@ import (
 
 func runningTimeBench(b *testing.B, sc coefficient.ExperimentScenario) {
 	b.Helper()
+	b.ReportAllocs()
 	var co, fs time.Duration
 	for i := 0; i < b.N; i++ {
 		rows, err := coefficient.RunningTimeExperiment(coefficient.RunningTimeOptions{
@@ -32,15 +33,19 @@ func runningTimeBench(b *testing.B, sc coefficient.ExperimentScenario) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var foundCo, foundFS bool
 		for _, r := range rows {
 			if r.Workload != "BBW" {
 				continue
 			}
 			if r.Scheduler == "CoEfficient" {
-				co = r.RunningTime
+				co, foundCo = r.RunningTime, true
 			} else {
-				fs = r.RunningTime
+				fs, foundFS = r.RunningTime, true
 			}
+		}
+		if !foundCo || !foundFS {
+			b.Fatalf("missing BBW rows: CoEfficient=%v FSPEC=%v", foundCo, foundFS)
 		}
 	}
 	b.ReportMetric(co.Seconds(), "coeff-makespan-s")
@@ -53,12 +58,14 @@ func runningTimeBench(b *testing.B, sc coefficient.ExperimentScenario) {
 // BenchmarkFig1RunningTimeBBWACC regenerates Figure 1(a): batch makespans
 // of the real-world sets under the BER-7 setting.
 func BenchmarkFig1RunningTimeBBWACC(b *testing.B) {
+	b.ReportAllocs()
 	runningTimeBench(b, coefficient.ScenarioBER7())
 }
 
 // BenchmarkFig1RunningTimeSynthetic regenerates Figure 1(b): synthetic
 // batch makespans under BER-7.
 func BenchmarkFig1RunningTimeSynthetic(b *testing.B) {
+	b.ReportAllocs()
 	var co, fs time.Duration
 	for i := 0; i < b.N; i++ {
 		rows, err := coefficient.RunningTimeExperiment(coefficient.RunningTimeOptions{
@@ -72,15 +79,19 @@ func BenchmarkFig1RunningTimeSynthetic(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var foundCo, foundFS bool
 		for _, r := range rows {
 			if r.Workload != "synthetic" {
 				continue
 			}
 			if r.Scheduler == "CoEfficient" {
-				co = r.RunningTime
+				co, foundCo = r.RunningTime, true
 			} else {
-				fs = r.RunningTime
+				fs, foundFS = r.RunningTime, true
 			}
+		}
+		if !foundCo || !foundFS {
+			b.Fatalf("missing synthetic rows: CoEfficient=%v FSPEC=%v", foundCo, foundFS)
 		}
 	}
 	b.ReportMetric(co.Seconds(), "coeff-makespan-s")
@@ -90,12 +101,14 @@ func BenchmarkFig1RunningTimeSynthetic(b *testing.B) {
 // BenchmarkFig2RunningTime regenerates Figure 2: the BER-9 (strict goal)
 // running times, which exceed their Figure 1 counterparts.
 func BenchmarkFig2RunningTime(b *testing.B) {
+	b.ReportAllocs()
 	runningTimeBench(b, coefficient.ScenarioBER9())
 }
 
 // BenchmarkFig3BandwidthUtilization regenerates Figure 3: bandwidth
 // utilization across dynamic segment sizes.
 func BenchmarkFig3BandwidthUtilization(b *testing.B) {
+	b.ReportAllocs()
 	var coEff, fsEff float64
 	for i := 0; i < b.N; i++ {
 		rows, err := coefficient.UtilizationExperiment(coefficient.UtilizationOptions{
@@ -104,12 +117,16 @@ func BenchmarkFig3BandwidthUtilization(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var foundCo, foundFS bool
 		for _, r := range rows {
 			if r.Scheduler == "CoEfficient" {
-				coEff = r.Efficiency
+				coEff, foundCo = r.Efficiency, true
 			} else {
-				fsEff = r.Efficiency
+				fsEff, foundFS = r.Efficiency, true
 			}
+		}
+		if !foundCo || !foundFS {
+			b.Fatalf("missing utilization rows: CoEfficient=%v FSPEC=%v", foundCo, foundFS)
 		}
 	}
 	b.ReportMetric(coEff, "coeff-efficiency")
@@ -119,6 +136,7 @@ func BenchmarkFig3BandwidthUtilization(b *testing.B) {
 
 func latencyBench(b *testing.B, workloadName string, segment coefficient.SegmentKind) {
 	b.Helper()
+	b.ReportAllocs()
 	var co, fs time.Duration
 	for i := 0; i < b.N; i++ {
 		rows, err := coefficient.LatencyExperiment(coefficient.LatencyOptions{
@@ -130,15 +148,20 @@ func latencyBench(b *testing.B, workloadName string, segment coefficient.Segment
 		if err != nil {
 			b.Fatal(err)
 		}
+		var foundCo, foundFS bool
 		for _, r := range rows {
 			if r.Segment != segment {
 				continue
 			}
 			if r.Scheduler == "CoEfficient" {
-				co = r.Mean
+				co, foundCo = r.Mean, true
 			} else {
-				fs = r.Mean
+				fs, foundFS = r.Mean, true
 			}
+		}
+		if !foundCo || !foundFS {
+			b.Fatalf("missing %s %v rows: CoEfficient=%v FSPEC=%v",
+				workloadName, segment, foundCo, foundFS)
 		}
 	}
 	b.ReportMetric(float64(co.Microseconds()), "coeff-latency-us")
@@ -147,26 +170,31 @@ func latencyBench(b *testing.B, workloadName string, segment coefficient.Segment
 
 // BenchmarkFig4StaticLatencySynthetic regenerates Figure 4(a).
 func BenchmarkFig4StaticLatencySynthetic(b *testing.B) {
+	b.ReportAllocs()
 	latencyBench(b, "synthetic", coefficient.StaticSegment)
 }
 
 // BenchmarkFig4StaticLatencyBBWACC regenerates Figure 4(b).
 func BenchmarkFig4StaticLatencyBBWACC(b *testing.B) {
+	b.ReportAllocs()
 	latencyBench(b, "BBW", coefficient.StaticSegment)
 }
 
 // BenchmarkFig4DynamicLatencySynthetic regenerates Figure 4(c).
 func BenchmarkFig4DynamicLatencySynthetic(b *testing.B) {
+	b.ReportAllocs()
 	latencyBench(b, "synthetic", coefficient.DynamicSegment)
 }
 
 // BenchmarkFig4DynamicLatencyBBWACC regenerates Figure 4(d).
 func BenchmarkFig4DynamicLatencyBBWACC(b *testing.B) {
+	b.ReportAllocs()
 	latencyBench(b, "BBW", coefficient.DynamicSegment)
 }
 
 // BenchmarkFig5DeadlineMissRatio regenerates Figure 5.
 func BenchmarkFig5DeadlineMissRatio(b *testing.B) {
+	b.ReportAllocs()
 	var co, fs float64
 	for i := 0; i < b.N; i++ {
 		rows, err := coefficient.MissRatioExperiment(coefficient.MissOptions{
@@ -176,12 +204,16 @@ func BenchmarkFig5DeadlineMissRatio(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var foundCo, foundFS bool
 		for _, r := range rows {
 			if r.Scheduler == "CoEfficient" {
-				co = r.MissRatio
+				co, foundCo = r.MissRatio, true
 			} else {
-				fs = r.MissRatio
+				fs, foundFS = r.MissRatio, true
 			}
+		}
+		if !foundCo || !foundFS {
+			b.Fatalf("missing miss-ratio rows: CoEfficient=%v FSPEC=%v", foundCo, foundFS)
 		}
 	}
 	b.ReportMetric(co, "coeff-miss-ratio")
@@ -231,6 +263,7 @@ func ablationRun(b *testing.B, opts coefficient.SchedulerOptions) coefficient.Re
 // BenchmarkAblationSelectiveSlack compares selective slack stealing against
 // head-of-line blocking on non-fitting frames.
 func BenchmarkAblationSelectiveSlack(b *testing.B) {
+	b.ReportAllocs()
 	base := coefficient.SchedulerOptions{BER: 1e-6, Goal: 0.999}
 	var sel, blk float64
 	for i := 0; i < b.N; i++ {
@@ -246,6 +279,7 @@ func BenchmarkAblationSelectiveSlack(b *testing.B) {
 // BenchmarkAblationDifferentiatedRetx compares the differentiated plan
 // against a uniform one at the same goal.
 func BenchmarkAblationDifferentiatedRetx(b *testing.B) {
+	b.ReportAllocs()
 	base := coefficient.SchedulerOptions{BER: 1e-6, Goal: 0.999}
 	var diff, uni coefficient.Report
 	for i := 0; i < b.N; i++ {
@@ -261,6 +295,7 @@ func BenchmarkAblationDifferentiatedRetx(b *testing.B) {
 // BenchmarkAblationDualChannel compares dual-channel cooperative slack
 // against channel-A-only operation.
 func BenchmarkAblationDualChannel(b *testing.B) {
+	b.ReportAllocs()
 	base := coefficient.SchedulerOptions{BER: 1e-6, Goal: 0.999}
 	var dual, single float64
 	for i := 0; i < b.N; i++ {
@@ -276,6 +311,7 @@ func BenchmarkAblationDualChannel(b *testing.B) {
 // BenchmarkAblationFullAdmission compares the exact interval-series
 // admission test against the fast sufficient test.
 func BenchmarkAblationFullAdmission(b *testing.B) {
+	b.ReportAllocs()
 	base := coefficient.SchedulerOptions{BER: 1e-6, Goal: 0.999}
 	var quick, full float64
 	for i := 0; i < b.N; i++ {
@@ -292,6 +328,7 @@ func BenchmarkAblationFullAdmission(b *testing.B) {
 
 // BenchmarkPlanDifferentiated measures the greedy reliability planner.
 func BenchmarkPlanDifferentiated(b *testing.B) {
+	b.ReportAllocs()
 	set := coefficient.BBW()
 	msgs := make([]coefficient.ReliabilityMessage, len(set.Messages))
 	for i, m := range set.Messages {
@@ -308,6 +345,7 @@ func BenchmarkPlanDifferentiated(b *testing.B) {
 // BenchmarkSimulateCycle measures raw simulator throughput (fault-free
 // FSPEC on BBW, cycles per second).
 func BenchmarkSimulateCycle(b *testing.B) {
+	b.ReportAllocs()
 	set := bbwSetForBench(b)
 	setup, err := coefficient.DeriveLatencySetup(set, 30, 50)
 	if err != nil {
@@ -344,6 +382,7 @@ func bbwSetForBench(b *testing.B) coefficient.MessageSet {
 
 // BenchmarkFrameEncodeDecode measures the wire codec round trip.
 func BenchmarkFrameEncodeDecode(b *testing.B) {
+	b.ReportAllocs()
 	fr := &frame.Frame{
 		ID:         42,
 		CycleCount: 17,
@@ -364,6 +403,7 @@ func BenchmarkFrameEncodeDecode(b *testing.B) {
 // BenchmarkSlackAnalysisBuild measures the offline level-i table build for
 // the BBW-derived task set.
 func BenchmarkSlackAnalysisBuild(b *testing.B) {
+	b.ReportAllocs()
 	set := bbwTaskSet(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -375,6 +415,7 @@ func BenchmarkSlackAnalysisBuild(b *testing.B) {
 
 // BenchmarkStealerAvailable measures the runtime slack query.
 func BenchmarkStealerAvailable(b *testing.B) {
+	b.ReportAllocs()
 	a, err := slack.NewAnalysis(bbwTaskSet(b))
 	if err != nil {
 		b.Fatal(err)
@@ -391,6 +432,7 @@ func BenchmarkStealerAvailable(b *testing.B) {
 // BenchmarkStealerCapacity measures the interval-series projection over a
 // 50 ms horizon.
 func BenchmarkStealerCapacity(b *testing.B) {
+	b.ReportAllocs()
 	a, err := slack.NewAnalysis(bbwTaskSet(b))
 	if err != nil {
 		b.Fatal(err)
@@ -407,6 +449,7 @@ func BenchmarkStealerCapacity(b *testing.B) {
 // BenchmarkPackSignals measures first-fit-decreasing packing of 2500
 // signals.
 func BenchmarkPackSignals(b *testing.B) {
+	b.ReportAllocs()
 	set, err := workload.SyntheticSignals(workload.SignalLevelOptions{Signals: 2500, Nodes: 70, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -422,6 +465,7 @@ func BenchmarkPackSignals(b *testing.B) {
 
 // BenchmarkScheduleBuild measures static schedule table construction.
 func BenchmarkScheduleBuild(b *testing.B) {
+	b.ReportAllocs()
 	set := coefficient.BBW()
 	cfg := timebase.LatencyConfig(50)
 	b.ResetTimer()
@@ -456,6 +500,7 @@ func bbwTaskSet(b *testing.B) *task.Set {
 // BenchmarkScheduleSynthesis measures slot-multiplexed schedule synthesis
 // on the BBW workload.
 func BenchmarkScheduleSynthesis(b *testing.B) {
+	b.ReportAllocs()
 	set := coefficient.BBW()
 	cfg := timebase.LatencyConfig(50)
 	b.ResetTimer()
@@ -468,6 +513,7 @@ func BenchmarkScheduleSynthesis(b *testing.B) {
 
 // BenchmarkClockSync measures one 200-cycle synchronization run.
 func BenchmarkClockSync(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := coefficient.SimulateClockSync(coefficient.ClockSyncConfig{
 			Cycles: 200, SyncNodes: 10, MaxInitialOffset: 400,
@@ -482,6 +528,7 @@ func BenchmarkClockSync(b *testing.B) {
 
 // BenchmarkStartup measures one coldstart run of a 10-node cluster.
 func BenchmarkStartup(b *testing.B) {
+	b.ReportAllocs()
 	nodes := make([]coefficient.StartupNode, 10)
 	for i := range nodes {
 		nodes[i] = coefficient.StartupNode{Name: string(rune('a' + i)), Coldstart: i < 3}

@@ -4,7 +4,14 @@
 // Usage:
 //
 //	coefficientsim -experiment fig1 [-quick] [-seed 1] [-format table|csv]
-//	coefficientsim -experiment all -quick
+//	coefficientsim -experiment all -quick -parallel 8
+//	coefficientsim -experiment all -quick -bench results
+//
+// The -parallel flag sets the sweep worker count (0 = all cores); every
+// experiment produces byte-identical tables at any parallelism degree.
+// The -bench flag times each experiment serially and in parallel and
+// writes one BENCH_<experiment>.json per experiment into the given
+// directory, verifying the two runs' tables match along the way.
 package main
 
 import (
@@ -15,11 +22,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/flexray-go/coefficient/internal/experiment"
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/plot"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/scenario"
 )
 
@@ -30,18 +40,31 @@ func main() {
 	}
 }
 
+// options carries the parsed CLI configuration shared by the experiment
+// dispatch.
+type options struct {
+	quick     bool
+	seed      uint64
+	scn       *scenario.Scenario
+	drift     float64
+	guardians string
+	parallel  int
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation, timing or all")
-		quick  = fs.Bool("quick", false, "shrink horizons/batches for a fast smoke run")
-		seed   = fs.Uint64("seed", 1, "deterministic seed for arrivals and fault injection")
-		scnArg = fs.String("scenario", "", "fault-scenario JSON file for the degradation experiment (default: built-in BER step + blackout)")
-		drift  = fs.Float64("drift", 100, "oscillator drift bound in ppm for the timing experiment")
-		guards = fs.String("guardians", "both", "bus-guardian variants for the timing experiment: both, on or off")
-		format = fs.String("format", "table", "output format: table, csv or json")
-		output = fs.String("output", "", "write to this file instead of stdout")
-		svgDir = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
+		exp      = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation, timing or all")
+		quick    = fs.Bool("quick", false, "shrink horizons/batches for a fast smoke run")
+		seed     = fs.Uint64("seed", 1, "deterministic seed for arrivals and fault injection")
+		scnArg   = fs.String("scenario", "", "fault-scenario JSON file for the degradation experiment (default: built-in BER step + blackout)")
+		drift    = fs.Float64("drift", 100, "oscillator drift bound in ppm for the timing experiment")
+		guards   = fs.String("guardians", "both", "bus-guardian variants for the timing experiment: both, on or off")
+		parallel = fs.Int("parallel", 0, "sweep worker count: 0 = all cores, 1 = serial; output is identical for every value")
+		format   = fs.String("format", "table", "output format: table, csv or json")
+		output   = fs.String("output", "", "write to this file instead of stdout")
+		svgDir   = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
+		benchDir = fs.String("bench", "", "time each experiment serial vs parallel and write BENCH_<experiment>.json into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,65 +72,163 @@ func run(args []string) error {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	var w io.Writer = os.Stdout
-	if *output != "" {
-		f, err := os.Create(*output)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
 
-	var scn *scenario.Scenario
+	opts := options{
+		quick:     *quick,
+		seed:      *seed,
+		drift:     *drift,
+		guardians: *guards,
+		parallel:  *parallel,
+	}
 	if *scnArg != "" {
 		s, err := scenario.Load(*scnArg)
 		if err != nil {
 			return err
 		}
-		scn = s
+		opts.scn = s
 	}
 
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = []string{"fig1", "fig2", "fig3", "fig4", "fig4a", "fig5", "ablation", "synthesis", "wcrt", "degradation", "timing"}
 	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		tbl, chart, err := runOne(name, *quick, *seed, scn, *drift, *guards)
-		if err != nil {
-			return err
-		}
-		if err := emit(w, tbl, *format); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		if *svgDir != "" && chart != nil {
-			if err := writeSVG(*svgDir, name, chart); err != nil {
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+
+	if *benchDir != "" {
+		return runBench(*benchDir, names, opts)
+	}
+
+	emitAll := func(w io.Writer) error {
+		for _, name := range names {
+			tbl, chart, err := runOne(name, opts)
+			if err != nil {
 				return err
 			}
+			if err := emit(w, tbl, *format); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if *svgDir != "" && chart != nil {
+				if err := writeSVG(*svgDir, name, chart); err != nil {
+					return err
+				}
+			}
 		}
+		return nil
 	}
-	return nil
+	if *output != "" {
+		// Close errors must surface: a full disk otherwise truncates the
+		// results file silently.
+		return writeFile(*output, emitAll)
+	}
+	return emitAll(os.Stdout)
+}
+
+// writeFile creates path, hands it to write, and propagates the Close
+// error if write itself succeeded — the final flush of buffered data
+// happens in Close, so ignoring it hides short writes on a full disk.
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+	}()
+	return write(f)
 }
 
 func writeSVG(dir, name string, chart *plot.Chart) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name+".svg"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return chart.WriteSVG(f)
+	return writeFile(filepath.Join(dir, name+".svg"), chart.WriteSVG)
 }
 
-func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift float64, guardians string) (experiment.Table, *plot.Chart, error) {
+// benchResult is the JSON schema of one BENCH_<experiment>.json file.
+type benchResult struct {
+	Experiment      string  `json:"experiment"`
+	Quick           bool    `json:"quick"`
+	Seed            uint64  `json:"seed"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	ParallelWorkers int     `json:"parallelWorkers"`
+	SerialSeconds   float64 `json:"serialSeconds"`
+	ParallelSeconds float64 `json:"parallelSeconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+	Table           any     `json:"table"`
+}
+
+// runBench times every experiment twice — serial (-parallel 1) and at the
+// requested parallelism — checks the rendered tables are byte-identical,
+// and records wall-clock plus the headline rows per experiment.
+func runBench(dir string, names []string, opts options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	workers := runner.Workers(opts.parallel)
+	for _, name := range names {
+		serialOpts := opts
+		serialOpts.parallel = 1
+		start := time.Now()
+		serialTbl, _, err := runOne(name, serialOpts)
+		if err != nil {
+			return fmt.Errorf("bench %s (serial): %w", name, err)
+		}
+		serialSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		parTbl, _, err := runOne(name, opts)
+		if err != nil {
+			return fmt.Errorf("bench %s (parallel): %w", name, err)
+		}
+		parSec := time.Since(start).Seconds()
+
+		identical := serialTbl.String() == parTbl.String()
+		if !identical {
+			return fmt.Errorf("bench %s: parallel table differs from serial table", name)
+		}
+		speedup := 0.0
+		if parSec > 0 {
+			speedup = serialSec / parSec
+		}
+		res := benchResult{
+			Experiment:      name,
+			Quick:           opts.quick,
+			Seed:            opts.seed,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			ParallelWorkers: workers,
+			SerialSeconds:   serialSec,
+			ParallelSeconds: parSec,
+			Speedup:         speedup,
+			Identical:       identical,
+			Table:           tableJSON(parTbl),
+		}
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		err = writeFile(path, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BENCH %-12s serial %.3fs  parallel(%d) %.3fs  speedup %.2fx  -> %s\n",
+			name, serialSec, workers, parSec, speedup, path)
+	}
+	return nil
+}
+
+func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 	switch name {
 	case "timing":
 		rows, err := experiment.TimingFault(experiment.TimingFaultOptions{
-			Seed: seed, Quick: quick, DriftPPM: drift, Guardians: guardians,
+			Seed: o.seed, Quick: o.quick, DriftPPM: o.drift, Guardians: o.guardians,
+			Parallel: o.parallel,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -115,7 +236,7 @@ func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift 
 		return experiment.TimingFaultTable(rows), nil, nil
 	case "degradation":
 		rows, err := experiment.Degradation(experiment.DegradationOptions{
-			Scenario: scn, Seed: seed, Quick: quick,
+			Scenario: o.scn, Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -123,7 +244,7 @@ func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift 
 		return experiment.DegradationTable(rows), nil, nil
 	case "fig1":
 		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
-			Scenario: experiment.BER7(), Seed: seed, Quick: quick,
+			Scenario: experiment.BER7(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -132,7 +253,7 @@ func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift 
 			experiment.RunningTimeChart("Figure 1: running time (BER-7)", rows), nil
 	case "fig2":
 		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
-			Scenario: experiment.BER9(), Seed: seed, Quick: quick,
+			Scenario: experiment.BER9(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -140,43 +261,53 @@ func runOne(name string, quick bool, seed uint64, scn *scenario.Scenario, drift 
 		return experiment.RunningTimeTable("Figure 2: running time (BER-9)", rows),
 			experiment.RunningTimeChart("Figure 2: running time (BER-9)", rows), nil
 	case "fig3":
-		rows, err := experiment.Utilization(experiment.UtilizationOptions{Seed: seed, Quick: quick})
+		rows, err := experiment.Utilization(experiment.UtilizationOptions{
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+		})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.UtilizationTable(rows), experiment.UtilizationChart(rows), nil
 	case "fig4a":
-		rows, err := experiment.FrameLatency(experiment.FrameLatencyOptions{Seed: seed, Quick: quick})
+		rows, err := experiment.FrameLatency(experiment.FrameLatencyOptions{
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+		})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.FrameLatencyTable(rows), experiment.FrameLatencyChart(rows), nil
 	case "fig4":
-		rows, err := experiment.Latency(experiment.LatencyOptions{Seed: seed, Quick: quick})
+		rows, err := experiment.Latency(experiment.LatencyOptions{
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+		})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.LatencyTable(rows), experiment.LatencyChart(rows, "BBW", metrics.Dynamic), nil
 	case "wcrt":
-		rows, err := experiment.WCRT(experiment.WCRTOptions{Seed: seed})
+		rows, err := experiment.WCRT(experiment.WCRTOptions{Seed: o.seed})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.WCRTTable(rows), nil, nil
 	case "synthesis":
-		rows, err := experiment.Synthesis(experiment.SynthesisOptions{Seed: seed})
+		rows, err := experiment.Synthesis(experiment.SynthesisOptions{Seed: o.seed})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.SynthesisTable(rows), nil, nil
 	case "ablation":
-		rows, err := experiment.Ablations(experiment.AblationOptions{Seed: seed, Quick: quick})
+		rows, err := experiment.Ablations(experiment.AblationOptions{
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+		})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
 		return experiment.AblationTable(rows), nil, nil
 	case "fig5":
-		rows, err := experiment.MissRatio(experiment.MissOptions{Seed: seed, Quick: quick})
+		rows, err := experiment.MissRatio(experiment.MissOptions{
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+		})
 		if err != nil {
 			return experiment.Table{}, nil, err
 		}
@@ -205,6 +336,8 @@ func emit(w io.Writer, tbl experiment.Table, format string) error {
 				return err
 			}
 		}
+		// Flush pushes the buffered rows to the writer; Error surfaces
+		// any write failure Flush swallowed.
 		cw.Flush()
 		return cw.Error()
 	}

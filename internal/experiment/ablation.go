@@ -6,6 +6,7 @@ import (
 
 	"github.com/flexray-go/coefficient/internal/core"
 	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/workload"
 )
 
@@ -33,6 +34,9 @@ type AblationOptions struct {
 	Quick bool
 	// Minislots defaults to 50.
 	Minislots int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 // Ablations runs the design-choice ablations of DESIGN.md §4 on the
@@ -68,24 +72,23 @@ func Ablations(opts AblationOptions) ([]AblationRow, error) {
 		{"reactive", func(o *core.Options) { o.Reactive = true }},
 	}
 
-	var rows []AblationRow
-	for _, v := range variants {
+	return runner.Map(opts.Parallel, len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
 		o := base
 		v.mutate(&o)
 		sched := core.New(o)
 		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+			return AblationRow{}, fmt.Errorf("ablation %s: %w", v.name, err)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Variant:        v.name,
 			MissRatio:      res.Report.OverallMissRatio(),
 			DynamicMean:    res.Report.MeanLatency[metrics.Dynamic],
 			RawUtilization: res.Report.RawUtilization,
 			StolenStatic:   sched.Stats().StolenStatic,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationTable renders the ablation rows.

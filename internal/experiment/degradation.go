@@ -7,6 +7,7 @@ import (
 	"github.com/flexray-go/coefficient/internal/core"
 	"github.com/flexray-go/coefficient/internal/fspec"
 	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/scenario"
 	"github.com/flexray-go/coefficient/internal/sim"
 	"github.com/flexray-go/coefficient/internal/workload"
@@ -69,6 +70,9 @@ type DegradationOptions struct {
 	Quick bool
 	// Minislots is the dynamic segment size (default 50).
 	Minislots int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *DegradationOptions) fill() {
@@ -104,17 +108,24 @@ func Degradation(opts DegradationOptions) ([]DegradationRow, error) {
 
 	variants := []struct {
 		label string
-		sched sim.Scheduler
+		sched func() sim.Scheduler
 	}{
-		{"FSPEC", fspec.New(fspec.Options{Copies: FSPECCopies(set, sc, 0)})},
-		{"CoEfficient", core.New(core.Options{BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit})},
-		{"CoEfficient+adapt", core.New(core.Options{
-			BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit, Adaptive: true,
-		})},
+		{"FSPEC", func() sim.Scheduler {
+			return fspec.New(fspec.Options{Copies: FSPECCopies(set, sc, 0)})
+		}},
+		{"CoEfficient", func() sim.Scheduler {
+			return core.New(core.Options{BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit})
+		}},
+		{"CoEfficient+adapt", func() sim.Scheduler {
+			return core.New(core.Options{BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit, Adaptive: true})
+		}},
 	}
 
-	var rows []DegradationRow
-	for _, v := range variants {
+	// Each variant cell constructs its own scheduler; set, setup and the
+	// scenario script are shared read-only (every sim.Run compiles its own
+	// scenario runtime from the seed).
+	return runner.Map(opts.Parallel, len(variants), func(i int) (DegradationRow, error) {
+		v := variants[i]
 		res, err := sim.Run(sim.Options{
 			Config:   setup.Config,
 			Workload: set,
@@ -123,11 +134,11 @@ func Degradation(opts DegradationOptions) ([]DegradationRow, error) {
 			Scenario: scn,
 			Mode:     sim.Streaming,
 			Duration: horizon,
-		}, v.sched)
+		}, v.sched())
 		if err != nil {
-			return nil, fmt.Errorf("degradation %s: %w", v.label, err)
+			return DegradationRow{}, fmt.Errorf("degradation %s: %w", v.label, err)
 		}
-		rows = append(rows, DegradationRow{
+		return DegradationRow{
 			Variant:         v.label,
 			MissRatio:       res.Report.OverallMissRatio(),
 			StaticMiss:      res.Report.DeadlineMissRatio[metrics.Static],
@@ -135,9 +146,8 @@ func Degradation(opts DegradationOptions) ([]DegradationRow, error) {
 			Faults:          res.Report.Faults,
 			Retransmissions: res.Report.Retransmissions,
 			Adaptive:        res.Report.Adaptive,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // DegradationTable renders degradation rows.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/sim"
 	"github.com/flexray-go/coefficient/internal/workload"
@@ -43,6 +44,10 @@ type RunningTimeOptions struct {
 	// SyntheticCounts sweeps the synthetic set sizes (default 20, 40, 60,
 	// 80).
 	SyntheticCounts []int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value (see
+	// internal/runner's determinism contract).
+	Parallel int
 }
 
 func (o *RunningTimeOptions) fill() {
@@ -60,33 +65,23 @@ func (o *RunningTimeOptions) fill() {
 	}
 }
 
-// RunningTime reproduces Figures 1 (scenario BER-7) and 2 (BER-9): batch
-// makespans for BBW, ACC and synthetic workloads under both schedulers, for
-// 80- and 120-slot cycles.
-func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
-	opts.fill()
-	var rows []RunningTimeRow
+// runningTimeCell is one independent point of the Figures 1-2 sweep:
+// one (slot count, workload, set size) batch run producing both
+// schedulers' rows.
+type runningTimeCell struct {
+	slots    int
+	workload string // "BBW", "ACC" or "synthetic"
+	n        int
+}
 
+// runningTimeCells enumerates the sweep in the canonical (serial) order.
+func runningTimeCells(opts RunningTimeOptions) []runningTimeCell {
+	var cells []runningTimeCell
 	for _, slots := range opts.Slots {
 		// Real-world application sets (Figure 1a / 2a).
 		for _, name := range []string{"BBW", "ACC"} {
-			base := workload.BBW()
-			if name == "ACC" {
-				base = workload.ACC()
-			}
 			for _, n := range opts.MessageCounts {
-				if n > len(base.Messages) {
-					n = len(base.Messages)
-				}
-				set, err := runningTimeWorkload(base, n, slots, opts.Seed)
-				if err != nil {
-					return nil, err
-				}
-				batch, err := runningTimeBatch(set, slots, opts, name, n)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, batch...)
+				cells = append(cells, runningTimeCell{slots: slots, workload: name, n: n})
 			}
 		}
 		// Synthetic sets (Figure 1b / 2b).
@@ -94,25 +89,52 @@ func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
 			if n > slots {
 				continue // static frame IDs must fit the slot range
 			}
-			syn, err := workload.Synthetic(workload.SyntheticOptions{
+			cells = append(cells, runningTimeCell{slots: slots, workload: "synthetic", n: n})
+		}
+	}
+	return cells
+}
+
+// RunningTime reproduces Figures 1 (scenario BER-7) and 2 (BER-9): batch
+// makespans for BBW, ACC and synthetic workloads under both schedulers, for
+// 80- and 120-slot cycles.  Cells run on Parallel workers; each cell
+// builds its own workload, setup, schedulers and injectors, so rows are
+// identical at every parallelism degree.
+func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
+	opts.fill()
+	cells := runningTimeCells(opts)
+	return runner.FlatMap(opts.Parallel, len(cells), func(i int) ([]RunningTimeRow, error) {
+		c := cells[i]
+		var (
+			set signal.Set
+			err error
+			n   = c.n
+		)
+		switch c.workload {
+		case "synthetic":
+			var syn signal.Set
+			syn, err = workload.Synthetic(workload.SyntheticOptions{
 				Messages: n,
 				Seed:     opts.Seed + uint64(n),
 			})
-			if err != nil {
-				return nil, err
+			if err == nil {
+				set, err = runningTimeWorkload(syn, n, c.slots, opts.Seed)
 			}
-			set, err := runningTimeWorkload(syn, n, slots, opts.Seed)
-			if err != nil {
-				return nil, err
+		default:
+			base := workload.BBW()
+			if c.workload == "ACC" {
+				base = workload.ACC()
 			}
-			batch, err := runningTimeBatch(set, slots, opts, "synthetic", n)
-			if err != nil {
-				return nil, err
+			if n > len(base.Messages) {
+				n = len(base.Messages)
 			}
-			rows = append(rows, batch...)
+			set, err = runningTimeWorkload(base, n, c.slots, opts.Seed)
 		}
-	}
-	return rows, nil
+		if err != nil {
+			return nil, err
+		}
+		return runningTimeBatch(set, c.slots, opts, c.workload, n)
+	})
 }
 
 // runningTimeWorkload takes the first n static messages of base and adds

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/sim"
 	"github.com/flexray-go/coefficient/internal/workload"
@@ -81,6 +82,9 @@ type UtilizationOptions struct {
 	// Minislots lists the swept dynamic segment sizes (default 25, 50,
 	// 75, 100).
 	Minislots []int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *UtilizationOptions) fill() {
@@ -101,31 +105,33 @@ func Utilization(opts UtilizationOptions) ([]UtilizationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []UtilizationRow
-	for _, ms := range opts.Minislots {
+	// Cell = (minislots, scheduler); the shared set is read-only, every
+	// cell derives its own setup, scheduler and injectors.
+	const nSched = 2
+	cells := len(opts.Minislots) * nSched
+	return runner.Map(opts.Parallel, cells, func(i int) (UtilizationRow, error) {
+		ms := opts.Minislots[i/nSched]
 		setup, err := LatencySetup(set, latencyStaticSlots, ms)
 		if err != nil {
-			return nil, err
+			return UtilizationRow{}, err
 		}
-		for _, sched := range schedulers(set, opts.Scenario) {
-			res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %d minislots: %w", ms, err)
-			}
-			eff := 0.0
-			if res.Report.RawUtilization > 0 {
-				eff = res.Report.BandwidthUtilization / res.Report.RawUtilization
-			}
-			rows = append(rows, UtilizationRow{
-				Minislots:  ms,
-				Scheduler:  res.Scheduler,
-				Efficiency: eff,
-				Useful:     res.Report.BandwidthUtilization,
-				Raw:        res.Report.RawUtilization,
-			})
+		sched := schedulers(set, opts.Scenario)[i%nSched]
+		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
+		if err != nil {
+			return UtilizationRow{}, fmt.Errorf("fig3 %d minislots: %w", ms, err)
 		}
-	}
-	return rows, nil
+		eff := 0.0
+		if res.Report.RawUtilization > 0 {
+			eff = res.Report.BandwidthUtilization / res.Report.RawUtilization
+		}
+		return UtilizationRow{
+			Minislots:  ms,
+			Scheduler:  res.Scheduler,
+			Efficiency: eff,
+			Useful:     res.Report.BandwidthUtilization,
+			Raw:        res.Report.RawUtilization,
+		}, nil
+	})
 }
 
 // UtilizationTable renders Figure 3 rows.
@@ -179,6 +185,9 @@ type LatencyOptions struct {
 	// SyntheticMessages is the synthetic static set size (default 80, the
 	// paper's frame IDs 1..80).
 	SyntheticMessages int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *LatencyOptions) fill() {
@@ -196,14 +205,33 @@ func (o *LatencyOptions) fill() {
 	}
 }
 
+// latencyCell is one independent point of the Figure 4 sweep.
+type latencyCell struct {
+	workload string
+	ms       int
+	sc       Scenario
+	schedIdx int
+}
+
 // Latency reproduces Figure 4: average transmission latency of static and
 // dynamic segments for the synthetic, BBW and ACC workloads at 50 and 100
-// minislots under both reliability settings.
+// minislots under both reliability settings.  Cells run on Parallel
+// workers, each rebuilding its workload and setup from the options alone.
 func Latency(opts LatencyOptions) ([]LatencyRow, error) {
 	opts.fill()
-	var rows []LatencyRow
+	var cells []latencyCell
 	for _, wl := range opts.Workloads {
-		staticSet, staticSlots, err := latencyStaticSet(wl, opts)
+		for _, ms := range opts.Minislots {
+			for _, sc := range opts.Scenarios {
+				for schedIdx := 0; schedIdx < 2; schedIdx++ {
+					cells = append(cells, latencyCell{workload: wl, ms: ms, sc: sc, schedIdx: schedIdx})
+				}
+			}
+		}
+	}
+	return runner.FlatMap(opts.Parallel, len(cells), func(i int) ([]LatencyRow, error) {
+		c := cells[i]
+		staticSet, staticSlots, err := latencyStaticSet(c.workload, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -211,33 +239,29 @@ func Latency(opts LatencyOptions) ([]LatencyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, ms := range opts.Minislots {
-			setup, err := LatencySetup(set, staticSlots, ms)
-			if err != nil {
-				return nil, err
-			}
-			for _, sc := range opts.Scenarios {
-				for _, sched := range schedulers(set, sc) {
-					res, err := runStreaming(set, setup, sc, sched, opts.Seed, opts.Quick)
-					if err != nil {
-						return nil, fmt.Errorf("fig4 %s/%d/%s: %w", wl, ms, sc.Label, err)
-					}
-					for _, seg := range []metrics.SegmentKind{metrics.Static, metrics.Dynamic} {
-						rows = append(rows, LatencyRow{
-							Workload:  wl,
-							Segment:   seg,
-							Minislots: ms,
-							Scenario:  sc.Label,
-							Scheduler: res.Scheduler,
-							Mean:      res.Report.MeanLatency[seg],
-							P99:       res.Report.P99Latency[seg],
-						})
-					}
-				}
-			}
+		setup, err := LatencySetup(set, staticSlots, c.ms)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return rows, nil
+		sched := schedulers(set, c.sc)[c.schedIdx]
+		res, err := runStreaming(set, setup, c.sc, sched, opts.Seed, opts.Quick)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s/%d/%s: %w", c.workload, c.ms, c.sc.Label, err)
+		}
+		rows := make([]LatencyRow, 0, 2)
+		for _, seg := range []metrics.SegmentKind{metrics.Static, metrics.Dynamic} {
+			rows = append(rows, LatencyRow{
+				Workload:  c.workload,
+				Segment:   seg,
+				Minislots: c.ms,
+				Scenario:  c.sc.Label,
+				Scheduler: res.Scheduler,
+				Mean:      res.Report.MeanLatency[seg],
+				P99:       res.Report.P99Latency[seg],
+			})
+		}
+		return rows, nil
+	})
 }
 
 func latencyStaticSet(wl string, opts LatencyOptions) (signal.Set, int, error) {
@@ -310,6 +334,9 @@ type MissOptions struct {
 	Minislots []int
 	// Replicas averages each point over this many seeds (default 1).
 	Replicas int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *MissOptions) fill() {
@@ -324,47 +351,75 @@ func (o *MissOptions) fill() {
 	}
 }
 
+// missSample is one replica's outcome for one Figure 5 point.
+type missSample struct {
+	scheduler string
+	ratio     float64
+}
+
 // MissRatio reproduces Figure 5: deadline miss ratios on the BBW + SAE
-// workload across dynamic segment sizes and reliability settings.
+// workload across dynamic segment sizes and reliability settings.  The
+// replica is the innermost sweep coordinate, so every single simulation
+// is its own cell; replica samples are re-grouped in canonical order
+// before aggregation, keeping mean and stddev independent of the
+// parallelism degree.
 func MissRatio(opts MissOptions) ([]MissRow, error) {
 	opts.fill()
 	set, err := latencyWorkload(workload.BBW(), latencyStaticSlots, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []MissRow
+	type missCell struct {
+		ms       int
+		sc       Scenario
+		schedIdx int
+		replica  int
+	}
+	var cells []missCell
 	for _, ms := range opts.Minislots {
-		setup, err := LatencySetup(set, latencyStaticSlots, ms)
-		if err != nil {
-			return nil, err
-		}
 		for _, sc := range opts.Scenarios {
 			for schedIdx := 0; schedIdx < 2; schedIdx++ {
-				var (
-					name    string
-					samples []float64
-				)
 				for r := 0; r < opts.Replicas; r++ {
-					seed := opts.Seed + uint64(r)
-					sched := schedulers(set, sc)[schedIdx]
-					res, err := runStreaming(set, setup, sc, sched, seed, opts.Quick)
-					if err != nil {
-						return nil, fmt.Errorf("fig5 %d/%s: %w", ms, sc.Label, err)
-					}
-					name = res.Scheduler
-					samples = append(samples, res.Report.OverallMissRatio())
+					cells = append(cells, missCell{ms: ms, sc: sc, schedIdx: schedIdx, replica: r})
 				}
-				mean, std := meanStd(samples)
-				rows = append(rows, MissRow{
-					Minislots: ms,
-					Scenario:  sc.Label,
-					Scheduler: name,
-					MissRatio: mean,
-					StdDev:    std,
-					Replicas:  opts.Replicas,
-				})
 			}
 		}
+	}
+	samples, err := runner.Map(opts.Parallel, len(cells), func(i int) (missSample, error) {
+		c := cells[i]
+		setup, err := LatencySetup(set, latencyStaticSlots, c.ms)
+		if err != nil {
+			return missSample{}, err
+		}
+		seed := opts.Seed + uint64(c.replica)
+		sched := schedulers(set, c.sc)[c.schedIdx]
+		res, err := runStreaming(set, setup, c.sc, sched, seed, opts.Quick)
+		if err != nil {
+			return missSample{}, fmt.Errorf("fig5 %d/%s: %w", c.ms, c.sc.Label, err)
+		}
+		return missSample{scheduler: res.Scheduler, ratio: res.Report.OverallMissRatio()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Consecutive groups of Replicas samples form one row, in cell order.
+	var rows []MissRow
+	for start := 0; start < len(samples); start += opts.Replicas {
+		group := samples[start : start+opts.Replicas]
+		vals := make([]float64, len(group))
+		for i, s := range group {
+			vals[i] = s.ratio
+		}
+		mean, std := meanStd(vals)
+		c := cells[start]
+		rows = append(rows, MissRow{
+			Minislots: c.ms,
+			Scenario:  c.sc.Label,
+			Scheduler: group[len(group)-1].scheduler,
+			MissRatio: mean,
+			StdDev:    std,
+			Replicas:  opts.Replicas,
+		})
 	}
 	return rows, nil
 }

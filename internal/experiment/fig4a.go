@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"github.com/flexray-go/coefficient/internal/runner"
 )
 
 // FrameLatencyRow is one point of Figure 4(a)'s per-frame-ID series: the
@@ -30,6 +32,9 @@ type FrameLatencyOptions struct {
 	// Messages is the synthetic static set size (default 80, the paper's
 	// frame IDs 1..80).
 	Messages int
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *FrameLatencyOptions) fill() {
@@ -63,23 +68,28 @@ func FrameLatency(opts FrameLatencyOptions) ([]FrameLatencyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []FrameLatencyRow
-	for _, sched := range schedulers(set, opts.Scenario) {
+	rows, err := runner.FlatMap(opts.Parallel, 2, func(schedIdx int) ([]FrameLatencyRow, error) {
+		sched := schedulers(set, opts.Scenario)[schedIdx]
 		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
 		if err != nil {
 			return nil, fmt.Errorf("fig4a: %w", err)
 		}
+		var out []FrameLatencyRow
 		for id := 1; id <= opts.Messages; id++ {
 			mean, ok := res.Report.PerFrameMean[id]
 			if !ok {
 				continue
 			}
-			rows = append(rows, FrameLatencyRow{
+			out = append(out, FrameLatencyRow{
 				FrameID:   id,
 				Scheduler: res.Scheduler,
 				Mean:      mean,
 			})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].FrameID != rows[j].FrameID {

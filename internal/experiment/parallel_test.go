@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// checkParallelDeterminism runs fn at parallelism 1 (twice) and 8 and
+// asserts all three row slices are deeply equal: parallel sweeps must be
+// indistinguishable from serial ones, and repeated runs with the same
+// seed must reproduce.  GOMAXPROCS is forced up so the worker pool really
+// spawns goroutines even on single-core CI machines.
+func checkParallelDeterminism[T any](t *testing.T, name string, fn func(parallel int) ([]T, error)) {
+	t.Helper()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	serial, err := fn(1)
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	if len(serial) == 0 {
+		t.Fatalf("%s serial: no rows", name)
+	}
+	repeat, err := fn(1)
+	if err != nil {
+		t.Fatalf("%s repeat: %v", name, err)
+	}
+	if !reflect.DeepEqual(serial, repeat) {
+		t.Errorf("%s: repeated serial runs differ", name)
+	}
+	par, err := fn(8)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("%s: parallel rows differ from serial rows", name)
+	}
+}
+
+func TestRunningTimeParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "RunningTime", func(p int) ([]RunningTimeRow, error) {
+		return RunningTime(RunningTimeOptions{
+			Scenario: BER7(), Seed: 1, Quick: true,
+			Slots:           []int{80},
+			MessageCounts:   []int{10, 20},
+			SyntheticCounts: []int{10, 20},
+			Parallel:        p,
+		})
+	})
+}
+
+func TestUtilizationParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "Utilization", func(p int) ([]UtilizationRow, error) {
+		return Utilization(UtilizationOptions{
+			Seed: 1, Quick: true, Minislots: []int{30, 50}, Parallel: p,
+		})
+	})
+}
+
+func TestLatencyParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "Latency", func(p int) ([]LatencyRow, error) {
+		return Latency(LatencyOptions{
+			Seed: 1, Quick: true,
+			Minislots: []int{50},
+			Workloads: []string{"BBW", "synthetic"},
+			Scenarios: []Scenario{BER7()},
+			Parallel:  p,
+		})
+	})
+}
+
+func TestFrameLatencyParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "FrameLatency", func(p int) ([]FrameLatencyRow, error) {
+		return FrameLatency(FrameLatencyOptions{Seed: 1, Quick: true, Parallel: p})
+	})
+}
+
+func TestMissRatioParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "MissRatio", func(p int) ([]MissRow, error) {
+		return MissRatio(MissOptions{
+			Seed: 1, Quick: true, Minislots: []int{50},
+			Scenarios: []Scenario{BER7()},
+			Replicas:  2,
+			Parallel:  p,
+		})
+	})
+}
+
+func TestAblationParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "Ablations", func(p int) ([]AblationRow, error) {
+		return Ablations(AblationOptions{Seed: 1, Quick: true, Parallel: p})
+	})
+}
+
+func TestDegradationParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "Degradation", func(p int) ([]DegradationRow, error) {
+		return Degradation(DegradationOptions{Seed: 1, Quick: true, Parallel: p})
+	})
+}
+
+func TestTimingFaultParallelDeterminism(t *testing.T) {
+	checkParallelDeterminism(t, "TimingFault", func(p int) ([]TimingFaultRow, error) {
+		return TimingFault(TimingFaultOptions{Seed: 1, Quick: true, Parallel: p})
+	})
+}

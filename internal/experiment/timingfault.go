@@ -6,6 +6,7 @@ import (
 
 	"github.com/flexray-go/coefficient/internal/core"
 	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/scenario"
 	"github.com/flexray-go/coefficient/internal/sim"
 	"github.com/flexray-go/coefficient/internal/workload"
@@ -56,6 +57,9 @@ type TimingFaultOptions struct {
 	Guardians string
 	// Setting is the goal setting; defaults to BER7.
 	Setting Scenario
+	// Parallel is the sweep worker count: 0 uses every core, 1 runs
+	// serially.  The rows are identical for every value.
+	Parallel int
 }
 
 func (o *TimingFaultOptions) fill() error {
@@ -123,7 +127,9 @@ func TimingFault(opts TimingFaultOptions) ([]TimingFaultRow, error) {
 		{"babble+guardian", timing(true, true), babble},
 	}
 
-	var rows []TimingFaultRow
+	// The guardian filter picks the cells before the sweep runs, so the
+	// canonical cell order matches the serial variant order exactly.
+	kept := variants[:0]
 	for _, v := range variants {
 		if v.scn != nil {
 			if opts.Guardians == "on" && !v.timing.Guardians {
@@ -133,6 +139,10 @@ func TimingFault(opts TimingFaultOptions) ([]TimingFaultRow, error) {
 				continue
 			}
 		}
+		kept = append(kept, v)
+	}
+	return runner.Map(opts.Parallel, len(kept), func(i int) (TimingFaultRow, error) {
+		v := kept[i]
 		sched := core.New(core.Options{BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit})
 		res, err := sim.Run(sim.Options{
 			Config:   setup.Config,
@@ -145,17 +155,16 @@ func TimingFault(opts TimingFaultOptions) ([]TimingFaultRow, error) {
 			Duration: horizon,
 		}, sched)
 		if err != nil {
-			return nil, fmt.Errorf("timing %s: %w", v.label, err)
+			return TimingFaultRow{}, fmt.Errorf("timing %s: %w", v.label, err)
 		}
-		rows = append(rows, TimingFaultRow{
+		return TimingFaultRow{
 			Variant:     v.label,
 			StaticMiss:  res.Report.DeadlineMissRatio[metrics.Static],
 			DynamicMiss: res.Report.DeadlineMissRatio[metrics.Dynamic],
 			Faults:      res.Report.Faults,
 			Sync:        res.Report.Sync,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // TimingFaultTable renders timing-fault rows.

@@ -1,0 +1,160 @@
+// Package runner executes experiment sweeps on a deterministic worker
+// pool.  The paper's evaluation is a cross product — schedulers ×
+// scenarios × slot counts × message counts × seeds — whose cells are
+// independent simulations; this package runs them on up to
+// min(GOMAXPROCS, requested) goroutines while keeping the output
+// byte-identical to a serial run.
+//
+// # Determinism contract
+//
+// A sweep stays deterministic under parallelism iff
+//
+//  1. every cell is a pure function of its own inputs: the cell closure
+//     builds its own scheduler, injectors and setup, and shares only
+//     immutable data (message sets, scenario scripts) with other cells;
+//  2. any randomness a cell consumes is seeded from the cell's
+//     coordinates (see CellSeed), never from a generator shared across
+//     cells, so the draw streams do not depend on execution order;
+//  3. results are reassembled in canonical cell order — the order a
+//     serial `for` nest would have produced them — not completion order.
+//
+// Map and FlatMap guarantee (3); the experiment harnesses guarantee (1)
+// and (2).  Under this contract `-parallel 1` and `-parallel N` produce
+// byte-identical tables, and the first error reported is the error of
+// the lowest-indexed failing cell, exactly as a serial loop that stops
+// at the first failure would report it.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree to the worker count
+// actually used: min(GOMAXPROCS, requested).  Zero or negative requests
+// select GOMAXPROCS (the CLI's `-parallel 0` means "use all cores").
+func Workers(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > max {
+		return max
+	}
+	return requested
+}
+
+// CellSeed derives a deterministic per-cell seed from a base seed and
+// the cell's sweep coordinates.  Two cells with different coordinates
+// get uncorrelated streams (splitmix64 finalizer per coordinate), and
+// the derivation depends only on (base, coords), never on worker or
+// completion order — requirement (2) of the determinism contract.
+func CellSeed(base uint64, coords ...uint64) uint64 {
+	s := base
+	for _, c := range coords {
+		s = mix64(s ^ mix64(c+0x9E3779B97F4A7C15))
+	}
+	return s
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Map runs fn(0..n-1) on Workers(parallel) goroutines and returns the
+// results in index order.  If any cells fail, the error of the
+// lowest-indexed failing cell is returned (the same error a serial loop
+// would have stopped at) and the results slice is nil.  parallel == 1
+// or n <= 1 runs inline with no goroutines.
+func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	workers := Workers(parallel)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := runCell(i, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n // lowest failing cell index seen so far
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := runCell(i, fn)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runCell invokes one cell, converting a panic into an error so one bad
+// cell fails its sweep instead of crashing every worker's sibling cells.
+func runCell[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: cell %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// FlatMap runs fn over n cells like Map and concatenates the per-cell
+// row slices in cell order — the shape every experiment harness needs:
+// one cell may contribute several table rows, and the concatenation
+// must match the serial nesting exactly.
+func FlatMap[T any](parallel, n int, fn func(i int) ([]T, error)) ([]T, error) {
+	chunks, err := Map(parallel, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]T, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}

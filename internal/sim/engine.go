@@ -106,12 +106,15 @@ func (o *Options) validate() error {
 	if o.CHIStaticCapacity < 0 || o.CHIDynamicCapacity < 0 {
 		return fmt.Errorf("%w: negative CHI capacity", ErrBadOptions)
 	}
-	for id, at := range o.NodeFailures {
-		if at < 0 {
+	// Iterate the node maps in sorted ID order so which validation error
+	// is reported does not depend on Go's randomized map iteration.
+	for _, id := range sortedNodeIDs(o.NodeFailures) {
+		if at := o.NodeFailures[id]; at < 0 {
 			return fmt.Errorf("%w: node %d failure at %d", ErrBadOptions, id, at)
 		}
 	}
-	for id, at := range o.NodeRecoveries {
+	for _, id := range sortedNodeIDs(o.NodeRecoveries) {
+		at := o.NodeRecoveries[id]
 		failAt, failed := o.NodeFailures[id]
 		if !failed {
 			return fmt.Errorf("%w: node %d recovery without a failure", ErrBadOptions, id)
@@ -159,6 +162,16 @@ func (o *Options) validate() error {
 		}
 	}
 	return nil
+}
+
+// sortedNodeIDs returns the map's node IDs in ascending order.
+func sortedNodeIDs(m map[int]timebase.Macrotick) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // Result is the outcome of a run.

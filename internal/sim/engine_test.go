@@ -237,6 +237,39 @@ func TestOptionValidation(t *testing.T) {
 	}
 }
 
+// TestValidationErrorDeterministic locks the satellite bugfix: with
+// several invalid entries across the node maps, the reported error must
+// be the lowest node ID's every time, not whichever entry Go's
+// randomized map iteration visits first.
+func TestValidationErrorDeterministic(t *testing.T) {
+	want := ""
+	for i := 0; i < 50; i++ {
+		o := sim.Options{
+			Config:   testConfig(),
+			Workload: staticOnlyWorkload(),
+			Mode:     sim.Streaming,
+			Duration: time.Millisecond,
+			// Three recoveries without failures: the error must name
+			// node 2, the smallest offender.
+			NodeRecoveries: map[int]timebase.Macrotick{
+				9: 100, 2: 100, 5: 100,
+			},
+		}
+		_, err := sim.Run(o, fspec.New(fspec.Options{}))
+		if !errors.Is(err, sim.ErrBadOptions) {
+			t.Fatalf("Run = %v, want ErrBadOptions", err)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("validation error changed between runs:\n%q\n%q", want, err.Error())
+		}
+	}
+	if !strings.Contains(want, "node 2") {
+		t.Fatalf("error %q does not name the lowest node ID", want)
+	}
+}
+
 func TestDynamicFrameIDInsideStaticRangeRejected(t *testing.T) {
 	set := staticOnlyWorkload()
 	set.Messages = append(set.Messages, signal.Message{
