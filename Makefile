@@ -1,11 +1,24 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz bench ci
+.PHONY: all vet build test race fuzz bench lint ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the repo's own analyzer suite
+# (cmd/coefficientlint), which enforces the determinism and
+# error-handling contracts from DESIGN.md §9.  staticcheck runs too when
+# it is on PATH; STATICCHECK_VERSION pins the release CI should install.
+STATICCHECK_VERSION ?= 2024.1.1
+lint: vet
+	$(GO) run ./cmd/coefficientlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (pin: $(STATICCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -32,4 +45,4 @@ BENCHFLAGS ?= -quick
 bench: build
 	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(BENCHDIR)
 
-ci: vet build test race
+ci: lint build test race

@@ -1,0 +1,132 @@
+// Command coefficientlint runs the repository's custom static analyzers
+// (internal/lint) over the requested packages and exits non-zero on any
+// finding.  The suite enforces the determinism and error-handling
+// contracts of DESIGN.md §8/§9: no order-dependent map iteration, no
+// wall-clock or global-rand reads in simulation code, no dropped writer
+// errors, no unjoinable goroutines.
+//
+// Usage:
+//
+//	coefficientlint [-only mapiter,errdrop] [-list] ./...
+//
+// Patterns follow the go tool's shape: a directory, or a directory with
+// a trailing /... for the whole subtree.  Exit status is 0 for a clean
+// tree, 1 when diagnostics were reported, 2 on a load or internal
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/flexray-go/coefficient/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("coefficientlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(errOut, "coefficientlint:", err)
+		return 2
+	}
+	dirs, err := resolvePatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(errOut, "coefficientlint:", err)
+		return 2
+	}
+
+	var onlyNames []string
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if lint.ByName(name) == nil {
+				fmt.Fprintf(errOut, "coefficientlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			onlyNames = append(onlyNames, name)
+		}
+	}
+
+	diags, err := lint.LintDirs(root, dirs, onlyNames)
+	if err != nil {
+		fmt.Fprintln(errOut, "coefficientlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "coefficientlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns expands go-style package patterns into the sorted set
+// of package directories they cover.
+func resolvePatterns(root string, patterns []string) ([]string, error) {
+	all, err := lint.ModuleDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, pat := range patterns {
+		base, subtree := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = root
+		} else {
+			if !filepath.IsAbs(base) {
+				base = filepath.Join(root, base)
+			}
+			base = filepath.Clean(base)
+		}
+		matched := false
+		for _, dir := range all {
+			ok := dir == base || (subtree && strings.HasPrefix(dir, base+string(filepath.Separator)))
+			if !ok {
+				continue
+			}
+			matched = true
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return dirs, nil
+}

@@ -457,7 +457,7 @@ func (s *Scheduler) stealSoft(ch frame.Channel, now, capacity timebase.Macrotick
 		dur timebase.Macrotick
 	}
 	var cands []cand
-	for _, ecu := range s.env.ECUs {
+	for _, ecu := range s.env.OrderedECUs() {
 		in := ecu.PeekDynamicAny(now)
 		if in == nil || !s.env.Attached(in.Msg.Node, ch) {
 			continue

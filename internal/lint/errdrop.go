@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded errors from the writer methods whose failure
+// silently truncates an artifact: Close, Flush, Write, WriteString,
+// Encode and Sync.  The PR 3 incident was exactly this — a file Close
+// whose error carried the final flush of buffered data, dropped on the
+// floor, so a full disk produced a short results file and a green exit
+// code.  Both a bare call statement (including `defer f.Close()`) and an
+// explicit `_ =` discard are flagged; the sanctioned escapes are to
+// propagate the error (see cmd/coefficientsim's writeFile helper) or to
+// annotate a justified //lint:allow errdrop.
+//
+// Receivers whose writes cannot fail by contract — bytes.Buffer,
+// strings.Builder and the hash.Hash family — are exempt.  A
+// csv.Writer.Flush, which returns nothing and parks its error behind
+// Error(), is flagged when the surrounding function never calls Error().
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from Close/Flush/Write/Encode on writers",
+	Run:  runErrDrop,
+}
+
+// errDropMethods lists the flagged method names.
+var errDropMethods = map[string]bool{
+	"Close": true, "Flush": true, "Write": true,
+	"WriteString": true, "Encode": true, "Sync": true,
+}
+
+// errDropExempt lists receiver types whose listed methods cannot
+// meaningfully fail.
+var errDropExempt = map[string]bool{
+	"bytes.Buffer": true, "strings.Builder": true,
+	"hash.Hash": true, "hash.Hash32": true, "hash.Hash64": true,
+}
+
+func runErrDrop(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrDropFunc(p, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkErrDropFunc scans one function body; body doubles as the scope
+// searched for a csv.Writer Error() check.
+func checkErrDropFunc(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDroppedCall(p, call, body)
+			}
+		case *ast.DeferStmt:
+			checkDroppedCall(p, n.Call, body)
+		case *ast.GoStmt:
+			checkDroppedCall(p, n.Call, body)
+		case *ast.AssignStmt:
+			checkBlankAssign(p, n)
+		}
+		return true
+	})
+}
+
+// checkDroppedCall reports a statement-position call to a flagged method
+// whose error result vanishes.
+func checkDroppedCall(p *Pass, call *ast.CallExpr, scope *ast.BlockStmt) {
+	fn, sel := errDropCallee(p, call)
+	if fn == nil {
+		return
+	}
+	if !signatureReturnsError(fn) {
+		// csv.Writer.Flush returns nothing; its error hides behind
+		// Error().  Allow it only when the enclosing function checks.
+		if fn.Name() == "Flush" && isCSVWriter(p.TypesInfo.TypeOf(sel.X)) &&
+			!scopeCallsCSVError(p, scope) {
+			p.Reportf(call.Pos(),
+				"csv.Writer.Flush swallows write errors; call Error() after flushing")
+		}
+		return
+	}
+	p.Reportf(call.Pos(),
+		"error from %s.%s is discarded; a failed final flush silently truncates the output",
+		types.ExprString(sel.X), fn.Name())
+}
+
+// checkBlankAssign reports `_ = f.Close()` style discards.
+func checkBlankAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, sel := errDropCallee(p, call)
+	if fn == nil || !signatureReturnsError(fn) {
+		return
+	}
+	// The error is the last result; flag only when that position (or the
+	// sole position) is blank.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		p.Reportf(as.Pos(),
+			"error from %s.%s is discarded with _; propagate it or annotate //lint:allow errdrop",
+			types.ExprString(sel.X), fn.Name())
+	}
+}
+
+// errDropCallee resolves call to a flagged, non-exempt method and its
+// selector, or (nil, nil).
+func errDropCallee(p *Pass, call *ast.CallExpr) (*types.Func, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !errDropMethods[fn.Name()] {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	if errDropExempt[bareTypeName(p.TypesInfo.TypeOf(sel.X))] {
+		return nil, nil
+	}
+	return fn, sel
+}
+
+// signatureReturnsError reports whether fn's last result is error.
+func signatureReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return last.String() == "error"
+}
+
+// bareTypeName renders t without a pointer prefix ("*bytes.Buffer" and
+// "bytes.Buffer" both map to "bytes.Buffer").
+func bareTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	return strings.TrimPrefix(types.TypeString(t, nil), "*")
+}
+
+// isCSVWriter reports whether t is (*)encoding/csv.Writer.
+func isCSVWriter(t types.Type) bool {
+	return bareTypeName(t) == "encoding/csv.Writer"
+}
+
+// scopeCallsCSVError reports whether body contains a csv.Writer.Error()
+// call.
+func scopeCallsCSVError(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Name() == "Error" && isCSVWriter(p.TypesInfo.TypeOf(sel.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

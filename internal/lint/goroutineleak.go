@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags goroutines launched without a visible completion
+// signal.  The worker-pool contract (DESIGN.md §8) requires every
+// goroutine in the simulation pipeline to be joinable — via a
+// sync.WaitGroup, a done/result channel, or a context cancellation
+// path — so a sweep can never return while a stray worker still
+// mutates shared result slices.
+//
+// A `go` statement passes when the launched function (or its arguments,
+// for a named callee) involves at least one of:
+//
+//   - a sync.WaitGroup Done/Add call (typically `defer wg.Done()`);
+//   - a send on, close of, receive from, or range over a channel;
+//   - a context.Context (e.g. selecting on ctx.Done()).
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flags goroutines launched without a WaitGroup, done channel, or context",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !funcLitSignalsCompletion(p, fl) {
+					p.Reportf(g.Pos(),
+						"goroutine has no completion signal (WaitGroup, done channel, or context); the launcher cannot join it")
+				}
+				return true
+			}
+			// Named callee: the completion machinery must flow in
+			// through the receiver or the arguments.
+			if !callCarriesSignal(p, g.Call) {
+				p.Reportf(g.Pos(),
+					"goroutine callee receives no WaitGroup, channel, or context; the launcher cannot join it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcLitSignalsCompletion scans a goroutine body for any join
+// mechanism.
+func funcLitSignalsCompletion(p *Pass, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// <-ch receive (e.g. waiting on a gate or ctx.Done()).
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when it is closed.
+			if t := p.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseBuiltin(p, n) || isWaitGroupSignal(p, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callCarriesSignal reports whether a named goroutine callee is handed a
+// channel, WaitGroup, or context through its receiver or arguments.
+func callCarriesSignal(p *Pass, call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr{}, call.Args...)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		if typeCarriesSignal(p.TypesInfo.TypeOf(e)) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesSignal reports whether t is (or points to) a channel,
+// sync.WaitGroup, or context.Context.
+func typeCarriesSignal(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	switch bareTypeName(t) {
+	case "sync.WaitGroup", "context.Context":
+		return true
+	}
+	return false
+}
+
+// isCloseBuiltin reports whether call is close(ch).
+func isCloseBuiltin(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isWaitGroupSignal reports whether call is wg.Done() or wg.Add(..) on a
+// sync.WaitGroup.
+func isWaitGroupSignal(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || (fn.Name() != "Done" && fn.Name() != "Add") {
+		return false
+	}
+	return bareTypeName(p.TypesInfo.TypeOf(sel.X)) == "sync.WaitGroup"
+}

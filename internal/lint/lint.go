@@ -1,0 +1,155 @@
+// Package lint is a suite of static analyzers that mechanically enforce
+// the simulator's determinism and error-handling contracts (DESIGN.md §8,
+// §9).  PR 3 fixed two bugs of exactly the classes checked here — a map
+// iteration whose order leaked into output, and a file Close whose error
+// was silently dropped — and nothing but review prevented their
+// reintroduction across the internal packages.  These analyzers make the
+// contracts machine-checked.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic) but is built on the standard library alone: packages
+// are parsed with go/parser and type-checked with go/types using the
+// source importer, so the linter needs no dependencies outside the Go
+// toolchain.
+//
+// Analyzers:
+//
+//   - mapiter: flags `for range` over a map whose body is not provably
+//     order-independent, in determinism-critical packages.
+//   - wallclock: forbids time.Now/Since/Until and the global math/rand
+//     source in simulation and experiment code.
+//   - errdrop: flags discarded errors from Close, Flush, Write,
+//     WriteString, Encode and Sync on error-returning writers.
+//   - goroutineleak: flags goroutines launched without a completion
+//     signal (WaitGroup, done channel, or context).
+//
+// A diagnostic is suppressed by a directive comment on the offending
+// line, or the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is required: a suppression without a justification is
+// itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check, shaped after
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the real framework without touching the checks.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files holds the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and object tables.
+	TypesInfo *types.Info
+	// report collects diagnostics.
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violation and the sanctioned fix.
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Suite returns all analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{ErrDrop, GoroutineLeak, MapIter, Wallclock}
+}
+
+// ByName returns the named analyzer from the suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// criticalScope maps an analyzer name to the import-path suffixes of the
+// packages it applies to.  An empty entry (or a missing one) means the
+// analyzer runs everywhere.  mapiter and wallclock guard the determinism
+// contract, which binds the simulation/experiment pipeline; errdrop is a
+// correctness property of the whole repository; goroutineleak is scoped
+// to the packages that are allowed to start goroutines at all.
+var criticalScope = map[string][]string{
+	"mapiter": {
+		"internal/sim", "internal/runner", "internal/experiment",
+		"internal/scenario", "internal/fault", "internal/core",
+	},
+	"wallclock": {
+		"internal/sim", "internal/runner", "internal/experiment",
+		"internal/scenario", "internal/fault", "internal/core",
+	},
+	"goroutineleak": {"internal/runner", "internal/sim"},
+	"errdrop":       nil, // whole repository
+}
+
+// Applies reports whether the analyzer runs over the package with the
+// given import path under the default scope.  Test harnesses bypass this
+// and run analyzers directly.
+func Applies(a *Analyzer, importPath string) bool {
+	suffixes, ok := criticalScope[a.Name]
+	if !ok || len(suffixes) == 0 {
+		return true
+	}
+	for _, s := range suffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScopedAnalyzers returns the suite members that apply to importPath.
+func ScopedAnalyzers(importPath string) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range Suite() {
+		if Applies(a, importPath) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/lint"
+	"github.com/flexray-go/coefficient/internal/lint/linttest"
+)
+
+// TestMapIter checks the positive and negative golden cases: direct
+// map-order leaks are flagged; collect-then-sort, per-key writes,
+// integer accumulators and delete are not.
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", lint.MapIter)
+}
+
+// TestMapIterSimValidate locks the acceptance criterion: the PR 3
+// sim.Options.validate bug shape trips mapiter, and the shipped
+// sorted-keys fix shape stays clean.
+func TestMapIterSimValidate(t *testing.T) {
+	linttest.Run(t, "testdata/src/simvalidate", lint.MapIter)
+}
+
+// TestWallclock checks that wall-clock reads and global-rand draws are
+// flagged while seeded *rand.Rand use is not.
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", lint.Wallclock)
+}
+
+// TestErrDrop checks that dropped writer errors are flagged while
+// propagated errors and can't-fail receivers are not.
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, "testdata/src/errdrop", lint.ErrDrop)
+}
+
+// TestGoroutineLeak checks that unjoinable goroutines are flagged while
+// WaitGroup/channel/context patterns are not.
+func TestGoroutineLeak(t *testing.T) {
+	linttest.Run(t, "testdata/src/goroutineleak", lint.GoroutineLeak)
+}
+
+// TestSuite pins the suite's membership: every analyzer is registered
+// and resolvable by name for //lint:allow validation and -only flags.
+func TestSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		names[a.Name] = true
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	for _, want := range []string{"mapiter", "wallclock", "errdrop", "goroutineleak"} {
+		if !names[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}
+
+// TestApplies pins the default scope: the determinism analyzers bind the
+// simulation pipeline, errdrop binds everything, and goroutineleak binds
+// only the packages allowed to start goroutines.
+func TestApplies(t *testing.T) {
+	const mod = "github.com/flexray-go/coefficient"
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"mapiter", mod + "/internal/sim", true},
+		{"mapiter", mod + "/internal/runner", true},
+		{"mapiter", mod + "/internal/experiment", true},
+		{"mapiter", mod + "/internal/scenario", true},
+		{"mapiter", mod + "/internal/fault", true},
+		{"mapiter", mod + "/internal/core", true},
+		{"mapiter", mod + "/internal/plot", false},
+		{"mapiter", mod + "/internal/metrics", false},
+		{"wallclock", mod + "/internal/sim", true},
+		{"wallclock", mod + "/cmd/coefficientsim", false}, // bench timing is legitimate there
+		{"errdrop", mod + "/internal/plot", true},
+		{"errdrop", mod + "/cmd/coefficientsim", true},
+		{"errdrop", mod, true},
+		{"goroutineleak", mod + "/internal/runner", true},
+		{"goroutineleak", mod + "/internal/sim", true},
+		{"goroutineleak", mod + "/internal/experiment", false},
+	}
+	for _, c := range cases {
+		a := lint.ByName(c.analyzer)
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", c.analyzer)
+		}
+		if got := lint.Applies(a, c.path); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}

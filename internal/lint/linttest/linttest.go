@@ -1,0 +1,135 @@
+// Package linttest runs lint analyzers over golden testdata packages and
+// compares their diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a trailing comment on the offending line:
+//
+//	f.Close() // want `error from f.Close is discarded`
+//
+// Each backquoted or quoted string after "want" is a regular expression
+// that must match the message of a diagnostic reported on that line.
+// Lines without a want comment must produce no diagnostics, which is how
+// negative cases (sorted-keys iteration, an explicit *rand.Rand) prove
+// the analyzers are free of false positives.  //lint:allow directives are
+// honored, so suppression behavior is testable the same way.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/lint"
+)
+
+// wantRE extracts the expectation strings of one want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want entry: a pattern required to match a
+// diagnostic on a specific line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir (stdlib imports only), applies the
+// analyzers, and fails the test on any mismatch between diagnostics and
+// want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir(dir, filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("parse want comments in %s: %v", dir, err)
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("run analyzers on %s: %v", dir, err)
+		}
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("unexpected diagnostic at %s:%d: %s (%s)",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s:%d: no message matched %q",
+					filepath.Base(w.file), w.line, w.pattern)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by d.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want ...` comment in the package.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWant(pkg, c)
+				if err != nil {
+					return nil, err
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWant extracts the expectations of one comment, if it is a want
+// comment.
+func parseWant(pkg *lint.Package, c *ast.Comment) ([]*expectation, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	raw := wantRE.FindAllString(rest, -1)
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%s:%d: want comment has no pattern", pos.Filename, pos.Line)
+	}
+	var wants []*expectation
+	for _, r := range raw {
+		pat := strings.Trim(r, "`")
+		if strings.HasPrefix(r, `"`) {
+			var err error
+			if pat, err = strconv.Unquote(r); err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, r, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+		}
+		wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	return wants, nil
+}

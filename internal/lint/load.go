@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("pkgname" for testdata
+	// packages outside the module).
+	Path string
+	// Dir is the directory the files came from.
+	Dir string
+	// Fset maps positions to file locations (shared across the load).
+	Fset *token.FileSet
+	// Files holds the parsed files in filename order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's tables.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages from source.  Standard-library
+// imports resolve through go/importer's source importer; module-local
+// imports resolve through the loader's own cache, so every consumer of a
+// module package — target or dependency — sees one canonical
+// *types.Package.  The canonical version includes the package's
+// in-package _test.go files, which is what lets external "_test"
+// packages see test-only exports without type-identity clashes.
+type Loader struct {
+	fset *token.FileSet
+	std  types.Importer
+	// Root and ModPath scope module-local import resolution; an empty
+	// Root (the default for testdata loads) sends every import to the
+	// source importer.
+	Root    string
+	ModPath string
+	// IncludeTests controls whether _test.go files are loaded.  The
+	// determinism contract covers test helpers that write artifacts
+	// (bench_test.go), so the CLI leaves this on.
+	IncludeTests bool
+
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader that type-checks everything from source,
+// which works offline for a module whose imports are all either
+// standard-library or module-local.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:         fset,
+		std:          importer.ForCompiler(fset, "source", nil),
+		IncludeTests: true,
+		cache:        make(map[string]*Package),
+		loading:      make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer, routing module-local paths through
+// the loader's canonical cache.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.Root != "" && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) {
+		pkg, err := l.loadModule(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadModule loads (or returns the cached) canonical package for a
+// module-local import path.
+func (l *Loader) loadModule(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	groups, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	name := primaryGroup(groups)
+	if name == "" {
+		return nil, fmt.Errorf("no Go package in %s", dir)
+	}
+	pkg, err := l.check(dir, path, groups[name])
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir loads the packages rooted in dir: the primary package and, when
+// IncludeTests is set, the external "_test" package if one exists.
+// importPath is used both for diagnostics and for the type-checker's
+// package path.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	groups, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	name := primaryGroup(groups)
+	if name == "" {
+		return nil, fmt.Errorf("no Go package in %s", dir)
+	}
+
+	var primary *Package
+	if l.Root != "" && (importPath == l.ModPath || strings.HasPrefix(importPath, l.ModPath+"/")) {
+		primary, err = l.loadModule(importPath)
+	} else {
+		primary, err = l.check(dir, importPath, groups[name])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	pkgs := []*Package{primary}
+
+	if files, ok := groups[name+"_test"]; ok {
+		ext, err := l.check(dir, importPath+"_test", files)
+		if err != nil {
+			return nil, fmt.Errorf("%s_test: %w", importPath, err)
+		}
+		pkgs = append(pkgs, ext)
+	}
+	return pkgs, nil
+}
+
+// parseDir parses dir's .go files and groups them by package clause:
+// in-package tests join the primary group; external tests ("foo_test")
+// form their own.
+func (l *Loader) parseDir(dir string) (map[string][]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	groups := make(map[string][]*ast.File)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		groups[f.Name.Name] = append(groups[f.Name.Name], f)
+	}
+	return groups, nil
+}
+
+// primaryGroup returns the non-"_test" package name in groups, or "".
+func primaryGroup(groups map[string][]*ast.File) string {
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasSuffix(name, "_test") {
+			return name
+		}
+	}
+	return ""
+}
+
+// check type-checks one file group.
+func (l *Loader) check(dir, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ModuleDirs returns every package directory under root (the module
+// root), sorted: directories containing at least one .go file, skipping
+// testdata, vendor and hidden trees.
+func ModuleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := filepath.Base(path)
+			if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `for range` over a map whose body is not provably
+// order-independent.  Go randomizes map iteration order per run, so any
+// order-dependent work inside such a loop — emitting rows, recording
+// trace events, returning early — breaks the byte-identical-output
+// contract (DESIGN.md §8).  The sanctioned fix is to collect the keys,
+// sort them, and range over the sorted slice.
+//
+// The analyzer recognizes the order-independent idioms and stays quiet
+// on them:
+//
+//   - collecting keys or values with append for a later sort;
+//   - building another map keyed by the iteration key (m2[k] = v);
+//   - writing a slice element indexed by the iteration key;
+//   - deleting from a map;
+//   - integer counters and accumulators (n++, sum += v) — but not
+//     floating-point ones, whose addition is not associative;
+//   - setting a boolean/constant flag (found = true).
+//
+// Everything else — including `break`, `return` and method calls with
+// side effects — is flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration whose order can leak into simulator output",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			w := &mapIterWalk{pass: p, key: rangeVarObj(p, rs.Key)}
+			if w.stmts(rs.Body.List) {
+				return true
+			}
+			p.Reportf(rs.Pos(),
+				"range over map %s is not provably order-independent; iterate over sorted keys",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeVarObj resolves the object a range variable defines (nil for `_`
+// or a missing variable).
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// mapIterWalk judges whether a loop body is order-independent.
+type mapIterWalk struct {
+	pass *Pass
+	// key is the iteration-key variable; map/slice writes indexed by it
+	// are order-independent because each iteration touches its own slot.
+	key types.Object
+}
+
+// stmts reports whether every statement is order-independent.
+func (w *mapIterWalk) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !w.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *mapIterWalk) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.assign(s)
+	case *ast.IncDecStmt:
+		return isIntegral(w.pass.TypesInfo.TypeOf(s.X))
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && w.isDelete(call)
+	case *ast.IfStmt:
+		if s.Init != nil && !w.stmt(s.Init) {
+			return false
+		}
+		if !w.stmts(s.Body.List) {
+			return false
+		}
+		return s.Else == nil || w.stmt(s.Else)
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.RangeStmt, *ast.ForStmt:
+		// A nested loop inherits the outer iteration's arbitrary order,
+		// so only an order-independent body keeps it safe.
+		var body *ast.BlockStmt
+		if rs, ok := s.(*ast.RangeStmt); ok {
+			body = rs.Body
+		} else {
+			body = s.(*ast.ForStmt).Body
+		}
+		return w.stmts(body.List)
+	case *ast.BranchStmt:
+		// `continue` skips an iteration; `break` ends the loop at an
+		// arbitrary element and is order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.DeclStmt:
+		return true
+	default:
+		// return, send, go, defer, select, switch, ... — treat as
+		// order-dependent rather than enumerate them.
+		return false
+	}
+}
+
+// assign judges one assignment statement.
+func (w *mapIterWalk) assign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	default:
+		// Compound assignment: commutative and associative only for
+		// integer (and bitwise) operations; float += is order-sensitive.
+		for _, lhs := range s.Lhs {
+			if !isIntegral(w.pass.TypesInfo.TypeOf(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	for i, lhs := range s.Lhs {
+		if !w.assignPair(lhs, s.Rhs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *mapIterWalk) assignPair(lhs, rhs ast.Expr) bool {
+	// Collecting for a later sort: keys = append(keys, k).
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && w.pass.TypesInfo.Uses[id] != nil {
+			if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	// Per-key slot writes: m2[k] = v, arr[k] = v.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		return w.key != nil && usesObj(w.pass, idx.Index, w.key)
+	}
+	// Constant flags: found = true, state = 3.
+	if _, ok := lhs.(*ast.Ident); ok {
+		switch rhs := rhs.(type) {
+		case *ast.BasicLit:
+			return true
+		case *ast.Ident:
+			return rhs.Name == "true" || rhs.Name == "false" || rhs.Name == "nil"
+		}
+	}
+	return false
+}
+
+// isDelete reports whether call is the delete builtin.
+func (w *mapIterWalk) isDelete(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	_, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// usesObj reports whether expr mentions obj.
+func usesObj(p *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isIntegral reports whether t is an integer type (after unwrapping
+// named types).
+func isIntegral(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/lint"
+)
+
+// TestRepositoryIsLintClean runs the full suite over the whole module —
+// the same check `go run ./cmd/coefficientlint ./...` and `make lint`
+// perform — so a violation anywhere in the tree fails `go test` too, and
+// CI cannot go green with an order-dependent map iteration or a dropped
+// writer error in the simulator.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("find module root: %v", err)
+	}
+	dirs, err := lint.ModuleDirs(root)
+	if err != nil {
+		t.Fatalf("enumerate packages: %v", err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("enumerated only %d package dirs; walk is broken", len(dirs))
+	}
+	diags, err := lint.LintDirs(root, dirs, nil)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

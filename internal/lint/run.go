@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// allowPrefix starts a suppression directive comment.
+const allowPrefix = "//lint:allow"
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics sorted by position.  A //lint:allow directive on the
+// offending line, or the line directly above it, suppresses a
+// diagnostic; a directive without a reason is reported instead of
+// honored, so every suppression carries its justification.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	allows, bad := directives(pkg)
+	diags = append(diags, bad...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] ||
+			allows[allowKey{file: d.Pos.Filename, line: d.Pos.Line - 1, analyzer: d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directives collects the package's //lint:allow comments.  Malformed
+// directives (no analyzer, unknown analyzer, or no reason) come back as
+// diagnostics of their own.
+func directives(pkg *Package) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "//lint:allow needs an analyzer name and a reason",
+					})
+				case ByName(fields[0]) == nil:
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0]),
+					})
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow %s needs a reason", fields[0]),
+					})
+				default:
+					allows[allowKey{file: pos.Filename, line: pos.Line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// LintDirs loads and lints each package directory under the module root,
+// applying the default analyzer scope per import path, and returns all
+// diagnostics in deterministic order.  only restricts the suite to the
+// named analyzers (nil means the full suite).
+func LintDirs(root string, dirs []string, only []string) ([]Diagnostic, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader()
+	loader.Root = root
+	loader.ModPath = modPath
+	var all []Diagnostic
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		analyzers := ScopedAnalyzers(importPath)
+		if len(only) > 0 {
+			analyzers = filterAnalyzers(analyzers, only)
+		}
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkgs, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			ds, err := Run(pkg, analyzers)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ds...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// filterAnalyzers keeps the analyzers whose names appear in only.
+func filterAnalyzers(as []*Analyzer, only []string) []*Analyzer {
+	want := make(map[string]bool, len(only))
+	for _, n := range only {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range as {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

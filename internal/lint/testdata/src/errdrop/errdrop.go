@@ -1,0 +1,98 @@
+// Package errdrop exercises the errdrop analyzer: discarded errors from
+// writer methods are flagged; checked errors and can't-fail receivers
+// are not.
+package errdrop
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"hash"
+	"os"
+	"strings"
+)
+
+// drop is the PR 3 incident shape — Close carries the final flush, and
+// its error vanishes: flagged.
+func drop(f *os.File) {
+	f.Close() // want `error from f\.Close is discarded`
+}
+
+// deferred drops the Close error just as silently: flagged.
+func deferred(f *os.File) {
+	defer f.Close() // want `error from f\.Close is discarded`
+}
+
+// blank discards explicitly; the sanctioned escape is a justified
+// //lint:allow, not an underscore: flagged.
+func blank(f *os.File) {
+	_ = f.Close() // want `error from f\.Close is discarded with _`
+}
+
+// flush loses buffered bytes on failure: flagged.
+func flush(w *bufio.Writer) {
+	w.Flush() // want `error from w\.Flush is discarded`
+}
+
+// partial keeps the count but drops the error: flagged.
+func partial(w *bufio.Writer, p []byte) int {
+	n, _ := w.Write(p) // want `error from w\.Write is discarded with _`
+	return n
+}
+
+// encode drops a JSON export error — a truncated artifact reads as a
+// shorter, valid-looking file: flagged.
+func encode(enc *json.Encoder, v any) {
+	enc.Encode(v) // want `error from enc\.Encode is discarded`
+}
+
+// sync drops a durability error: flagged.
+func sync(f *os.File) {
+	f.Sync() // want `error from f\.Sync is discarded`
+}
+
+// csvUnchecked drops the row-write error and flushes without consulting
+// Error: both flagged.
+func csvUnchecked(w *csv.Writer, row []string) {
+	w.Write(row) // want `error from w\.Write is discarded`
+	w.Flush()    // want `csv\.Writer\.Flush swallows write errors`
+}
+
+// csvChecked consults Error after the flush: Flush not flagged.
+func csvChecked(w *csv.Writer, row []string) error {
+	if err := w.Write(row); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// propagate returns the error: not flagged.
+func propagate(f *os.File) error {
+	return f.Close()
+}
+
+// checked handles the error: not flagged.
+func checked(w *bufio.Writer, p []byte) error {
+	if _, err := w.Write(p); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// cantFail writes to receivers whose errors are always nil by contract:
+// not flagged.
+func cantFail(b *bytes.Buffer, sb *strings.Builder, h hash.Hash) {
+	b.Write([]byte("x"))
+	b.WriteString("y")
+	sb.WriteString("z")
+	h.Write([]byte("w"))
+}
+
+// allowed demonstrates the suppression directive on a best-effort
+// cleanup path.
+func allowed(f *os.File) {
+	//lint:allow errdrop best-effort cleanup of a read-only file
+	f.Close()
+}

@@ -1,0 +1,100 @@
+// Package goroutineleak exercises the goroutineleak analyzer: goroutines
+// without a completion signal are flagged; WaitGroup, channel and
+// context patterns are not.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leak launches a goroutine nothing can join: flagged.
+func leak(work func()) {
+	go func() { // want `goroutine has no completion signal`
+		work()
+	}()
+}
+
+// namedLeak hands the callee no joinable state: flagged.
+func namedLeak() {
+	go spin() // want `goroutine callee receives no WaitGroup, channel, or context`
+}
+
+func spin() {}
+
+// waits joins through a WaitGroup: not flagged.
+func waits(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// doneChan signals completion by closing a channel: not flagged.
+func doneChan(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// results streams over a channel; the send blocks until a receiver
+// drains it: not flagged.
+func results(xs []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		for _, x := range xs {
+			out <- x
+		}
+		close(out)
+	}()
+	return out
+}
+
+// withCtx terminates on context cancellation: not flagged.
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// worker consumes a channel until it closes: not flagged.
+func worker(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// namedWorker hands the callee its jobs channel: not flagged.
+func namedWorker(jobs chan int) {
+	go consume(jobs)
+}
+
+func consume(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// methodWorker launches a method whose receiver carries a WaitGroup:
+// not flagged.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.runner(&p.wg)
+}
+
+func (p *pool) runner(wg *sync.WaitGroup) {
+	defer wg.Done()
+	p.run()
+}

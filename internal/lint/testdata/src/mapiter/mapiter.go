@@ -1,0 +1,126 @@
+// Package mapiter exercises the mapiter analyzer: order-dependent map
+// iteration is flagged; the sanctioned order-independent idioms are not.
+package mapiter
+
+import "sort"
+
+// emitRows leaks map order into output: flagged.
+func emitRows(m map[int]string, out func(string)) {
+	for _, v := range m { // want `range over map m is not provably order-independent`
+		out(v)
+	}
+}
+
+// firstError returns whichever entry the runtime visits first: flagged.
+func firstError(m map[int]error) error {
+	for _, err := range m { // want `range over map m is not provably order-independent`
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumFloats accumulates float64 in map order; float addition is not
+// associative, so the total depends on visit order: flagged.
+func sumFloats(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m is not provably order-independent`
+		s += v
+	}
+	return s
+}
+
+// lastWriterWins keeps an arbitrary element: flagged.
+func lastWriterWins(m map[int]string) string {
+	var out string
+	for _, v := range m { // want `range over map m is not provably order-independent`
+		out = v
+	}
+	return out
+}
+
+// breakAt stops at an arbitrary element: flagged.
+func breakAt(m map[int]string, stop string) bool {
+	found := false
+	for _, v := range m { // want `range over map m is not provably order-independent`
+		if v == stop {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: not flagged.
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// copyMap writes each iteration's own key slot: not flagged.
+func copyMap(m map[int]string) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// fill writes a dense slice indexed by the key: not flagged.
+func fill(m map[int]float64, dense []float64) {
+	for k, v := range m {
+		dense[k] = v
+	}
+}
+
+// count uses an integer accumulator, which is commutative: not flagged.
+func count(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sumInts accumulates int64; integer addition wraps deterministically
+// and commutes: not flagged.
+func sumInts(m map[int]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// markSeen sets per-key flags and constant scalars: not flagged.
+func markSeen(m map[int]string) (map[int]bool, bool) {
+	seen := make(map[int]bool, len(m))
+	any := false
+	for k := range m {
+		seen[k] = true
+		any = true
+	}
+	return seen, any
+}
+
+// clear deletes while ranging, which Go defines safely and order cannot
+// affect: not flagged.
+func clear(m map[int]string) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// allowed demonstrates the suppression directive: the diagnostic fires
+// but the annotated reason silences it.
+func allowed(m map[int]string, f func(string)) {
+	//lint:allow mapiter callback is order-insensitive by construction
+	for _, v := range m {
+		f(v)
+	}
+}

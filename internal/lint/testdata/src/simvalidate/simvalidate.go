@@ -1,0 +1,47 @@
+// Package simvalidate locks the acceptance criterion for this suite:
+// reintroducing the PR 3 bug — sim.Options.validate iterating a node map
+// in map order, so which validation error surfaces depends on the run —
+// must trip the mapiter analyzer.  validate mirrors the buggy shape;
+// validateSorted mirrors the shipped fix and must stay clean.
+package simvalidate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Macrotick mirrors timebase.Macrotick.
+type Macrotick int64
+
+// Options mirrors the relevant corner of sim.Options.
+type Options struct {
+	// NodeFailures maps node ID to its scripted failure time.
+	NodeFailures map[int]Macrotick
+}
+
+// validate is the PR 3 bug shape: the first invalid node reported is
+// whichever one the runtime's map order visits first.
+func (o *Options) validate() error {
+	for id, at := range o.NodeFailures { // want `range over map o\.NodeFailures is not provably order-independent`
+		if at < 0 {
+			return fmt.Errorf("node %d: negative failure time %d", id, at)
+		}
+	}
+	return nil
+}
+
+// validateSorted is the PR 3 fix shape: collect, sort, then check in
+// ascending node-ID order.  No diagnostic.
+func (o *Options) validateSorted() error {
+	ids := make([]int, 0, len(o.NodeFailures))
+	for id := range o.NodeFailures {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if o.NodeFailures[id] < 0 {
+			return fmt.Errorf("node %d: negative failure time %d", id, o.NodeFailures[id])
+		}
+	}
+	return nil
+}

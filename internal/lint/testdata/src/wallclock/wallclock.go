@@ -1,0 +1,57 @@
+// Package wallclock exercises the wallclock analyzer: wall-clock reads
+// and the global math/rand source are flagged; the simulated clock and
+// explicitly seeded generators are not.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the host clock: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// elapsed reads the host clock through Since: flagged.
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock`
+}
+
+// remaining reads the host clock through Until: flagged.
+func remaining(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+// clockFunc smuggles the wall clock out as a function value: flagged.
+func clockFunc() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}
+
+// draw uses the global source, whose draw order depends on goroutine
+// scheduling: flagged.
+func draw() float64 {
+	return rand.Float64() // want `rand\.Float64 uses the global random source`
+}
+
+// shuffle uses the global source: flagged.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the global random source`
+}
+
+// seeded derives every draw from an explicit seed: not flagged.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// format only manipulates a time value, never reading the clock: not
+// flagged.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// duration arithmetic is pure: not flagged.
+func duration(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock reads and the global math/rand source in
+// determinism-critical code.  Simulation time must come from the
+// simulated clock (timebase), and randomness must flow from
+// runner.CellSeed or an explicit *rand.Rand, so that a cell's draw
+// stream depends only on its own coordinates — requirement (2) of the
+// determinism contract.  time.Now and friends smuggle host state into
+// the simulation; the global rand functions share one mutable source
+// across goroutines, making draw order depend on scheduling.
+//
+// Methods on an explicit *rand.Rand and the source constructors
+// (rand.New, rand.NewSource, ...) are allowed; any reference to the
+// forbidden functions — calls or function values — is flagged.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Until and the global math/rand source in simulation code",
+	Run:  runWallclock,
+}
+
+// wallclockTime lists the forbidden time package functions.
+var wallclockTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// wallclockRandOK lists the math/rand functions that do not touch the
+// global source: constructors taking an explicit seed or source.
+var wallclockRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallclock(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods (e.g. on an explicit *rand.Rand) are fine.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTime[fn.Name()] {
+					p.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in determinism-critical code; use the simulated clock",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandOK[fn.Name()] {
+					p.Reportf(sel.Pos(),
+						"%s.%s uses the global random source in determinism-critical code; seed an explicit *rand.Rand from runner.CellSeed",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -62,7 +62,11 @@ func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
 		syncLoss:   make(map[int][]mtSpan),
 		babble:     make(map[int][]mtSpan),
 	}
-	for key, ch := range s.Channels {
+	// Sorted key order keeps compilation deterministic; the per-channel
+	// seed is derived from the key, so the draw streams do not depend on
+	// the order either way, but error reporting does.
+	for _, key := range sortedChannelKeys(s.Channels) {
+		ch := s.Channels[key]
 		fc := frame.ChannelA
 		chSeed := seed ^ seedChannelA
 		if key == "B" {
@@ -92,9 +96,7 @@ func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
 			end:   end,
 		})
 	}
-	for id := range rt.nodes {
-		sortSpans(rt.nodes[id])
-	}
+	sortBuckets(rt.nodes, func(a, b mtSpan) bool { return a.start < b.start })
 	if s.Timing != nil {
 		for _, st := range s.Timing.DriftSteps {
 			rt.driftSteps[st.Node] = append(rt.driftSteps[st.Node], driftAt{
@@ -102,10 +104,7 @@ func (s *Scenario) Compile(cfg timebase.Config, seed uint64) (*Runtime, error) {
 				ppm: st.PPM,
 			})
 		}
-		for id := range rt.driftSteps {
-			steps := rt.driftSteps[id]
-			sort.Slice(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
-		}
+		sortBuckets(rt.driftSteps, func(a, b driftAt) bool { return a.at < b.at })
 		rt.syncLoss = compileNodeWindows(s.Timing.SyncLoss, cfg)
 		rt.babble = compileNodeWindows(s.Timing.Babble, cfg)
 	}
@@ -125,14 +124,23 @@ func compileNodeWindows(windows []NodeWindow, cfg timebase.Config) map[int][]mtS
 			end:   end,
 		})
 	}
-	for id := range out {
-		sortSpans(out[id])
-	}
+	sortBuckets(out, func(a, b mtSpan) bool { return a.start < b.start })
 	return out
 }
 
 func sortSpans(spans []mtSpan) {
 	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+}
+
+// sortBuckets sorts every bucket of a per-node map in place.  Visiting
+// order is irrelevant: each iteration sorts only its own key's slice,
+// and each slice's content is independent of the others.
+func sortBuckets[V any](m map[int][]V, less func(a, b V) bool) {
+	//lint:allow mapiter each iteration sorts only its own bucket; no cross-key state
+	for id := range m {
+		bucket := m[id]
+		sort.Slice(bucket, func(i, j int) bool { return less(bucket[i], bucket[j]) })
+	}
 }
 
 func compileChannel(ch *Channel, cfg timebase.Config, seed uint64) (*fault.Profile, error) {

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression tests for the nondeterministic-validation bug surfaced by
+// the mapiter analyzer: Validate used to range over maps directly, so
+// with several invalid entries the reported error was whichever one Go's
+// randomized map order visited first.  Validation now walks sorted keys;
+// these tests repeat Validate enough times that the old behavior would
+// almost surely report at least two different entries.
+
+const validateRepeats = 100
+
+// TestValidateChannelErrorDeterministic: two unknown channel keys; the
+// lexically first ("C") must be the one reported, every run.
+func TestValidateChannelErrorDeterministic(t *testing.T) {
+	s := &Scenario{
+		Name: "bad-channels",
+		Channels: map[string]*Channel{
+			"D": {BaseBER: 1e-7},
+			"C": {BaseBER: 1e-7},
+		},
+	}
+	first := s.Validate()
+	if first == nil {
+		t.Fatal("Validate accepted unknown channels")
+	}
+	if !errors.Is(first, ErrInvalid) {
+		t.Fatalf("Validate error %v does not wrap ErrInvalid", first)
+	}
+	if !strings.Contains(first.Error(), `"C"`) {
+		t.Fatalf("Validate reported %q, want the sorted-first channel \"C\"", first)
+	}
+	for i := 0; i < validateRepeats; i++ {
+		if err := s.Validate(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d: Validate = %v, want stable %v", i, err, first)
+		}
+	}
+}
+
+// TestValidateOverlapErrorDeterministic: overlapping sync-loss windows
+// on two different nodes; the overlap check buckets windows per node in
+// a map, so the reported node must be the numerically smallest, every
+// run.
+func TestValidateOverlapErrorDeterministic(t *testing.T) {
+	win := func(node int, start, end time.Duration) NodeWindow {
+		return NodeWindow{Node: node, Start: Duration(start), End: Duration(end)}
+	}
+	s := &Scenario{
+		Name:     "bad-windows",
+		Channels: map[string]*Channel{"A": {BaseBER: 1e-7}},
+		Timing: &TimingFaults{
+			SyncLoss: []NodeWindow{
+				win(7, 10*time.Millisecond, 30*time.Millisecond),
+				win(7, 20*time.Millisecond, 40*time.Millisecond),
+				win(3, 10*time.Millisecond, 30*time.Millisecond),
+				win(3, 20*time.Millisecond, 40*time.Millisecond),
+			},
+		},
+	}
+	first := s.Validate()
+	if first == nil {
+		t.Fatal("Validate accepted overlapping sync-loss windows")
+	}
+	if !strings.Contains(first.Error(), "node 3 sync-loss") {
+		t.Fatalf("Validate reported %q, want the lowest node id (node 3)", first)
+	}
+	for i := 0; i < validateRepeats; i++ {
+		if err := s.Validate(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d: Validate = %v, want stable %v", i, err, first)
+		}
+	}
+}

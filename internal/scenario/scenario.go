@@ -284,8 +284,12 @@ func checkNoOverlap(what string, spans []span) error {
 // windows (steps and ramps) of one channel do not overlap each other, nor
 // do blackouts or bursts; node events are ordered fail-then-recover and do
 // not overlap per node.
+// Iteration follows sorted key order so that, with several invalid
+// entries, the same one is reported every run — map order would make the
+// returned error nondeterministic.
 func (s *Scenario) Validate() error {
-	for key, ch := range s.Channels {
+	for _, key := range sortedChannelKeys(s.Channels) {
+		ch := s.Channels[key]
 		if key != "A" && key != "B" {
 			return fmt.Errorf("%w: unknown channel %q (want \"A\" or \"B\")", ErrInvalid, key)
 		}
@@ -335,8 +339,8 @@ func (s *Scenario) validateTiming() error {
 			}
 			perNode[w.Node] = append(perNode[w.Node], sp)
 		}
-		for id, spans := range perNode {
-			if err := checkNoOverlap(fmt.Sprintf("node %d %s", id, group.what), spans); err != nil {
+		for _, id := range sortedNodeKeys(perNode) {
+			if err := checkNoOverlap(fmt.Sprintf("node %d %s", id, group.what), perNode[id]); err != nil {
 				return err
 			}
 		}
@@ -421,10 +425,31 @@ func (s *Scenario) validateNodes() error {
 		}
 		perNode[ev.Node] = append(perNode[ev.Node], sp)
 	}
-	for id, spans := range perNode {
-		if err := checkNoOverlap(fmt.Sprintf("node %d down", id), spans); err != nil {
+	for _, id := range sortedNodeKeys(perNode) {
+		if err := checkNoOverlap(fmt.Sprintf("node %d down", id), perNode[id]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortedChannelKeys returns the channel map's keys in ascending order,
+// for deterministic validation and compilation order.
+func sortedChannelKeys(m map[string]*Channel) []string {
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedNodeKeys returns the per-node map's keys in ascending order.
+func sortedNodeKeys[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }

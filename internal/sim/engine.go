@@ -388,7 +388,7 @@ func (e *engine) run() (Result, error) {
 			e.timing.cycleStart(e, cycle, now)
 		}
 		e.sched.CycleStart(cycle, now)
-		for _, ecu := range e.env.ECUs {
+		for _, ecu := range e.env.OrderedECUs() {
 			ecu.ResetSlotCounters()
 		}
 
@@ -739,8 +739,10 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 }
 
 // dropExpired abandons instances whose deadline passed.
+// Iteration is in node-ID order so the drop events land in the trace in
+// a deterministic sequence (map order would reshuffle them every run).
 func (e *engine) dropExpired(now timebase.Macrotick) {
-	for _, ecu := range e.env.ECUs {
+	for _, ecu := range e.env.OrderedECUs() {
 		for _, in := range ecu.DropExpiredStatic(now) {
 			e.dropInstance(in, now)
 		}

@@ -9,6 +9,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/flexray-go/coefficient/internal/adapt"
 	"github.com/flexray-go/coefficient/internal/frame"
@@ -66,6 +67,30 @@ type Env struct {
 	// the run models a perfect shared macrotick; all methods are
 	// nil-safe.
 	Sync *adapt.SyncMonitor
+
+	// ecuOrder caches the ECUs in ascending node-ID order (OrderedECUs).
+	ecuOrder []*node.ECU
+}
+
+// OrderedECUs returns the ECUs in ascending node-ID order.  Ranging over
+// the ECUs map directly makes behavior depend on Go's randomized map
+// iteration order, which the determinism contract forbids (DESIGN.md
+// §8); every per-ECU sweep in the engine and the schedulers goes through
+// this accessor instead.  The order is computed once — the ECU set is
+// fixed after the environment is built.
+func (e *Env) OrderedECUs() []*node.ECU {
+	if e.ecuOrder == nil && len(e.ECUs) > 0 {
+		ids := make([]int, 0, len(e.ECUs))
+		for id := range e.ECUs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		e.ecuOrder = make([]*node.ECU, 0, len(ids))
+		for _, id := range ids {
+			e.ecuOrder = append(e.ecuOrder, e.ECUs[id])
+		}
+	}
+	return e.ecuOrder
 }
 
 // Attached reports whether the node is attached to the channel.
