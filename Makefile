@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz bench lint ci
+.PHONY: all vet build test race fuzz bench benchcheck profile lint ci
 
 all: ci
 
@@ -44,5 +44,29 @@ BENCHDIR ?= results
 BENCHFLAGS ?= -quick
 bench: build
 	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(BENCHDIR)
+
+# Run a fresh quick sweep into CHECKDIR and gate it against the
+# committed BENCHDIR baseline: cmd/benchguard fails on a >25% serial
+# wall-clock regression (or any serial/parallel table divergence) and
+# warns on smaller slowdowns.
+CHECKDIR ?= bench-out
+benchcheck: build
+	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(CHECKDIR)
+	$(GO) run ./cmd/benchguard -baseline $(BENCHDIR) -candidate $(CHECKDIR)
+
+# Profile the hot path two ways into PROFDIR: CPU/alloc profiles of a
+# full experiment sweep via cmd/coefficientsim, plus the engine
+# micro-benchmarks with the go test profiler.  Inspect with
+# `go tool pprof -top $(PROFDIR)/cpu.pprof`.
+PROFDIR ?= prof
+PROFEXP ?= fig1
+profile: build
+	mkdir -p $(PROFDIR)
+	$(GO) run ./cmd/coefficientsim -experiment $(PROFEXP) -quick -parallel 1 \
+		-cpuprofile $(PROFDIR)/cpu.pprof -memprofile $(PROFDIR)/mem.pprof >/dev/null
+	$(GO) test -run=^$$ -bench 'BenchmarkFig1RunningTime|BenchmarkFig5DeadlineMissRatio|BenchmarkSimulateCycle' \
+		-benchmem -benchtime 50x -count 1 \
+		-cpuprofile $(PROFDIR)/bench_cpu.pprof -memprofile $(PROFDIR)/bench_mem.pprof -o $(PROFDIR)/bench.test .
+	@echo "profiles written to $(PROFDIR)/ (inspect: go tool pprof -top $(PROFDIR)/cpu.pprof)"
 
 ci: lint build test race

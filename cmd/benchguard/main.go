@@ -1,0 +1,195 @@
+// Command benchguard compares a fresh benchmark sweep against the
+// committed baseline and fails on wall-clock regressions.
+//
+// Usage:
+//
+//	benchguard -baseline results -candidate bench-out [-threshold 0.25] [-min 0.05]
+//
+// Both directories hold BENCH_<experiment>.json files as written by
+// `coefficientsim -bench` (`make bench`).  For every experiment present
+// in both, the candidate's serial wall-clock is compared against the
+// baseline's: a slowdown beyond the threshold (default 25%) is an
+// error; any smaller slowdown is a warning.  Experiments whose baseline
+// serial time is under -min seconds (default 50ms) are exempt from the
+// hard gate — at that scale OS scheduling noise routinely exceeds any
+// threshold worth setting — and report WARN instead.  A candidate whose
+// parallel table diverged from its serial table (identical=false) is
+// always an error — determinism outranks speed.  Experiments present
+// only on one side are reported but not fatal, so adding or retiring an
+// experiment does not break the gate.
+//
+// Exit status: 0 when no experiment regressed, 1 on regression or
+// determinism failure, 2 on a usage or read error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchFile is the subset of the BENCH_<experiment>.json schema the
+// guard consumes.
+type benchFile struct {
+	Experiment      string  `json:"experiment"`
+	Quick           bool    `json:"quick"`
+	SerialSeconds   float64 `json:"serialSeconds"`
+	ParallelSeconds float64 `json:"parallelSeconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		baseline  = fs.String("baseline", "results", "directory with the committed BENCH_*.json baseline")
+		candidate = fs.String("candidate", "", "directory with the fresh BENCH_*.json sweep to check")
+		threshold = fs.Float64("threshold", 0.25, "fractional serial-time slowdown that fails the gate")
+		minBase   = fs.Float64("min", 0.05, "baseline serial seconds below which slowdowns only warn (scheduling noise dominates shorter runs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *candidate == "" {
+		fmt.Fprintln(errOut, "benchguard: -candidate directory is required")
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(errOut, "benchguard: -threshold must be positive")
+		return 2
+	}
+
+	base, err := loadDir(*baseline)
+	if err != nil {
+		fmt.Fprintln(errOut, "benchguard:", err)
+		return 2
+	}
+	cand, err := loadDir(*candidate)
+	if err != nil {
+		fmt.Fprintln(errOut, "benchguard:", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(errOut, "benchguard: no BENCH_*.json files in baseline %s\n", *baseline)
+		return 2
+	}
+	if len(cand) == 0 {
+		fmt.Fprintf(errOut, "benchguard: no BENCH_*.json files in candidate %s\n", *candidate)
+		return 2
+	}
+
+	report := compare(base, cand, *threshold, *minBase)
+	for _, line := range report.lines {
+		fmt.Fprintln(out, line)
+	}
+	if report.failed {
+		return 1
+	}
+	return 0
+}
+
+// comparison accumulates the rendered verdict lines and the overall
+// pass/fail state.
+type comparison struct {
+	lines  []string
+	failed bool
+}
+
+// compare renders one verdict line per experiment, in name order.
+func compare(base, cand map[string]benchFile, threshold, minBase float64) comparison {
+	var c comparison
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		b := base[name]
+		nc, ok := cand[name]
+		if !ok {
+			c.lines = append(c.lines,
+				fmt.Sprintf("SKIP  %-12s in baseline only", name))
+			continue
+		}
+		c.lines = append(c.lines, verdict(&c.failed, name, b, nc, threshold, minBase))
+	}
+
+	extra := make([]string, 0, len(cand))
+	for name := range cand {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		c.lines = append(c.lines,
+			fmt.Sprintf("SKIP  %-12s in candidate only", name))
+	}
+	return c
+}
+
+// verdict judges one experiment pair and marks failed on a hard
+// regression or determinism violation.  Experiments whose baseline runs
+// shorter than minBase are warned about but never fail: at a few
+// milliseconds of wall clock, OS scheduling noise dwarfs any real
+// regression the gate could detect.
+func verdict(failed *bool, name string, base, cand benchFile, threshold, minBase float64) string {
+	if !cand.Identical {
+		*failed = true
+		return fmt.Sprintf("FAIL  %-12s parallel table differs from serial table", name)
+	}
+	if base.SerialSeconds <= 0 {
+		return fmt.Sprintf("SKIP  %-12s baseline has no serial timing", name)
+	}
+	ratio := cand.SerialSeconds / base.SerialSeconds
+	detail := fmt.Sprintf("serial %.3fs vs baseline %.3fs (%+.1f%%)",
+		cand.SerialSeconds, base.SerialSeconds, (ratio-1)*100)
+	switch {
+	case ratio > 1+threshold && base.SerialSeconds < minBase:
+		return fmt.Sprintf("WARN  %-12s %s — below the %.0fms noise floor, not gated",
+			name, detail, minBase*1000)
+	case ratio > 1+threshold:
+		*failed = true
+		return fmt.Sprintf("FAIL  %-12s %s exceeds the %.0f%% gate", name, detail, threshold*100)
+	case ratio > 1:
+		return fmt.Sprintf("WARN  %-12s %s", name, detail)
+	default:
+		return fmt.Sprintf("OK    %-12s %s", name, detail)
+	}
+}
+
+// loadDir reads every BENCH_*.json in dir keyed by experiment name.
+func loadDir(dir string) (map[string]benchFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchFile, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var bf benchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		if bf.Experiment == "" {
+			// Fall back to the file name so hand-trimmed fixtures work.
+			bf.Experiment = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		}
+		out[bf.Experiment] = bf
+	}
+	return out, nil
+}

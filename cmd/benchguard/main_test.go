@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench drops one BENCH_<name>.json fixture into dir.
+func writeBench(t *testing.T, dir, name string, serial float64, identical bool) {
+	t.Helper()
+	data, err := json.Marshal(benchFile{
+		Experiment:      name,
+		SerialSeconds:   serial,
+		ParallelSeconds: serial / 2,
+		Speedup:         2,
+		Identical:       identical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// guard runs the CLI against the two fixture directories and returns
+// exit code and stdout.
+func guard(t *testing.T, base, cand string, extra ...string) (int, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	args := append([]string{"-baseline", base, "-candidate", cand}, extra...)
+	code := run(args, &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestPassWithinThreshold(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 0.80, true) // faster: OK
+	writeBench(t, base, "fig5", 1.00, true)
+	writeBench(t, cand, "fig5", 1.20, true) // 20% slower: warn, not fail
+	code, out := guard(t, base, cand)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "OK    fig1") || !strings.Contains(out, "WARN  fig5") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestFailBeyondThreshold(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 1.30, true) // 30% slower: fail at 25%
+	code, out := guard(t, base, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL  fig1") || !strings.Contains(out, "25% gate") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestThresholdFlagWidensGate(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 1.30, true)
+	code, out := guard(t, base, cand, "-threshold", "0.5")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 at 50%% threshold\n%s", code, out)
+	}
+	if !strings.Contains(out, "WARN  fig1") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestTinyBaselinesWarnInsteadOfFail(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig4a", 0.019, true)
+	writeBench(t, cand, "fig4a", 0.030, true) // +58%, but 19ms is pure noise
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 1.30, true) // long experiments still gated
+	code, out := guard(t, base, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fig1 must still fail)\n%s", code, out)
+	}
+	if !strings.Contains(out, "WARN  fig4a") || !strings.Contains(out, "noise floor") {
+		t.Errorf("tiny experiment not downgraded to WARN:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL  fig1") {
+		t.Errorf("long experiment escaped the gate:\n%s", out)
+	}
+}
+
+func TestMinFlagLowersNoiseFloor(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig4a", 0.019, true)
+	writeBench(t, cand, "fig4a", 0.030, true)
+	code, out := guard(t, base, cand, "-min", "0.01")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 with floor lowered below baseline\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL  fig4a") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestNonIdenticalTablesAlwaysFail(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 0.50, false) // fast but nondeterministic
+	code, out := guard(t, base, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "parallel table differs") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestMissingExperimentsAreSkippedNotFatal(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, base, "retired", 1.00, true)
+	writeBench(t, cand, "fig1", 1.00, true)
+	writeBench(t, cand, "brandnew", 1.00, true)
+	code, out := guard(t, base, cand)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "SKIP  retired") || !strings.Contains(out, "SKIP  brandnew") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestEmptyDirsAreUsageErrors(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	if code, _ := guard(t, base, cand); code != 2 {
+		t.Fatalf("empty baseline: exit %d, want 2", code)
+	}
+	writeBench(t, base, "fig1", 1.00, true)
+	if code, _ := guard(t, base, cand); code != 2 {
+		t.Fatalf("empty candidate: exit %d, want 2", code)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base}, &out, &errOut); code != 2 {
+		t.Fatalf("missing -candidate: exit %d, want 2", code)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,7 +52,7 @@ type options struct {
 	parallel  int
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
 	var (
 		exp      = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation, timing or all")
@@ -65,6 +66,8 @@ func run(args []string) error {
 		output   = fs.String("output", "", "write to this file instead of stdout")
 		svgDir   = fs.String("svg", "", "also write an SVG chart per experiment into this directory")
 		benchDir = fs.String("bench", "", "time each experiment serial vs parallel and write BENCH_<experiment>.json into this directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +75,15 @@ func run(args []string) error {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	opts := options{
 		quick:     *quick,
@@ -124,6 +136,48 @@ func run(args []string) error {
 		return writeFile(*output, emitAll)
 	}
 	return emitAll(os.Stdout)
+}
+
+// startProfiles begins CPU profiling and arranges for the allocation
+// profile, returning a stop function that finishes both.  Every error —
+// create, start, write, close — surfaces: a truncated profile silently
+// misdirects an optimization session.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				return nil, fmt.Errorf("start cpu profile: %v (and close %s: %v)", err, cpuPath, cerr)
+			}
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			// One forced GC so the allocation profile reflects live and
+			// cumulative allocations up to exit, matching go test -memprofile.
+			runtime.GC()
+			err := writeFile(memPath, func(w io.Writer) error {
+				return pprof.Lookup("allocs").WriteTo(w, 0)
+			})
+			if err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
 }
 
 // writeFile creates path, hands it to write, and propagates the Close

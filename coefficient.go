@@ -101,6 +101,21 @@ type (
 	Cluster = topology.Cluster
 	// TraceRecorder captures per-frame bus events.
 	TraceRecorder = trace.Recorder
+	// TraceSink receives bus events; set SimOptions.Sink to observe a
+	// run without retaining every event.
+	TraceSink = trace.Sink
+	// TraceEvent is one recorded bus event.
+	TraceEvent = trace.Event
+	// TraceEventKind classifies a bus event.
+	TraceEventKind = trace.EventKind
+	// CountingTraceSink tallies events per kind without retaining or
+	// allocating.
+	CountingTraceSink = trace.CountingSink
+	// NullTraceSink discards every event.
+	NullTraceSink = trace.NullSink
+	// SyncTraceSink serializes concurrent Record calls onto a shared
+	// sink.
+	SyncTraceSink = trace.SyncSink
 	// FaultInjector decides which transmissions are corrupted.
 	FaultInjector = fault.Injector
 	// FaultStats summarizes an injector's history.
@@ -308,6 +323,9 @@ func Simulate(opts SimOptions, sched Scheduler) (SimResult, error) { return sim.
 
 // NewTraceRecorder returns an enabled bus trace recorder.
 func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// NewSyncTraceSink wraps dst so several goroutines can share it.
+func NewSyncTraceSink(dst TraceSink) *SyncTraceSink { return trace.NewSync(dst) }
 
 // NewBERInjector returns a deterministic transient-fault injector for the
 // given bit error rate and seed.

@@ -34,7 +34,7 @@ func TestEstimatorFERConverges(t *testing.T) {
 
 func TestEstimatorWindowForgets(t *testing.T) {
 	e := NewEstimator(Options{Window: 128})
-	feed(e, frame.ChannelA, 500, 256, 2) // FER 0.5 era
+	feed(e, frame.ChannelA, 500, 256, 2)  // FER 0.5 era
 	feed(e, frame.ChannelA, 500, 1024, 0) // then a long healthy era
 	if got := e.FER(frame.ChannelA); got > 0.05 {
 		t.Errorf("FER = %g after healthy era, want near 0 (window must forget)", got)

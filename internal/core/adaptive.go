@@ -57,8 +57,17 @@ func (s *Scheduler) initAdaptive() {
 		ao.Cooldown = 20 * s.env.Cfg.MacroPerCycle
 	}
 	s.ctl = adapt.NewController(ao, s.opts.BER)
-	s.shed = make(map[int]bool)
-	s.probeCycles = make(map[frame.Channel]int64)
+	// Sized like the plan table (frame IDs are dense); probeCycles is a
+	// fixed array and needs no allocation.
+	s.shed = make([]bool, len(s.plan))
+}
+
+// probeIdx maps a channel to its probeCycles index.
+func probeIdx(ch frame.Channel) int {
+	if ch == frame.ChannelB {
+		return 1
+	}
+	return 0
 }
 
 // observe feeds one transmission outcome to the controller.
@@ -66,7 +75,7 @@ func (s *Scheduler) observe(tx *sim.Transmission, ok bool) {
 	if s.ctl == nil {
 		return
 	}
-	s.ctl.Observe(tx.Channel, frame.WireBits(tx.Instance.Msg.Bytes()), ok)
+	s.ctl.Observe(tx.Channel, s.env.WireBits(tx.Instance.Msg), ok)
 }
 
 // stealAllowed reports whether steals may be placed on the channel: always
@@ -78,7 +87,7 @@ func (s *Scheduler) stealAllowed(ch frame.Channel) bool {
 	if s.ctl == nil || !s.ctl.Suspect(ch) {
 		return true
 	}
-	return s.probeCycles[ch]%probeEvery == 0
+	return s.probeCycles[probeIdx(ch)]%probeEvery == 0
 }
 
 // avoidRetx reports whether retransmission copies should be withheld from
@@ -110,11 +119,11 @@ func (s *Scheduler) adaptTick(now timebase.Macrotick) {
 		g.SetFER("A", est.FER(frame.ChannelA))
 		g.SetFER("B", est.FER(frame.ChannelB))
 	}
-	for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+	for _, ch := range adaptChannels {
 		if s.ctl.Suspect(ch) {
-			s.probeCycles[ch]++
+			s.probeCycles[probeIdx(ch)]++
 		} else {
-			s.probeCycles[ch] = 0
+			s.probeCycles[probeIdx(ch)] = 0
 		}
 	}
 
@@ -135,7 +144,7 @@ func (s *Scheduler) adaptTick(now timebase.Macrotick) {
 			}
 			s.env.Gauges.Failover()
 		}
-		s.env.Trace.Record(trace.Event{
+		s.env.Record(trace.Event{
 			Time:    now,
 			Kind:    trace.EventFailover,
 			Channel: frame.ChannelA,
@@ -239,9 +248,12 @@ func (s *Scheduler) replan(ber float64, now timebase.Macrotick) {
 	if !planned {
 		detail = fmt.Sprintf("ber=%.3g unreachable", ber)
 	}
-	s.env.Trace.Record(trace.Event{Time: now, Kind: trace.EventReplan, Detail: detail})
+	s.env.Record(trace.Event{Time: now, Kind: trace.EventReplan, Detail: detail})
 	s.stats.Replans++
 }
+
+// adaptChannels is the fixed channel iteration order of adaptTick.
+var adaptChannels = [2]frame.Channel{frame.ChannelA, frame.ChannelB}
 
 // shedOrder returns the soft frame IDs in shedding order: least critical
 // first (descending Priority value; lower Priority means more important),
@@ -272,24 +284,32 @@ func (s *Scheduler) shedOrder() []int {
 // Events are emitted in ascending frame-ID order so identical runs produce
 // byte-identical traces (map iteration order is randomized).
 func (s *Scheduler) applyShed(shedNow map[int]bool, now timebase.Macrotick) {
-	for _, id := range sortedIDs(shedNow) {
-		if !s.shed[id] {
+	shedList := sortedIDs(shedNow)
+	for _, id := range shedList {
+		if !s.isShed(id) {
 			s.env.Gauges.Shed(1)
-			s.env.Trace.Record(trace.Event{
+			s.env.Record(trace.Event{
 				Time: now, Kind: trace.EventShed, FrameID: id, Detail: "shed",
 			})
 			s.stats.ShedMessages++
 		}
 	}
-	for _, id := range sortedIDs(s.shed) {
-		if !shedNow[id] {
+	for id, on := range s.shed {
+		if on && !shedNow[id] {
 			s.env.Gauges.Shed(-1)
-			s.env.Trace.Record(trace.Event{
+			s.env.Record(trace.Event{
 				Time: now, Kind: trace.EventShed, FrameID: id, Detail: "restored",
 			})
 		}
 	}
-	s.shed = shedNow
+	for id := range s.shed {
+		s.shed[id] = false
+	}
+	for _, id := range shedList {
+		if id >= 0 && id < len(s.shed) {
+			s.shed[id] = true
+		}
+	}
 }
 
 func sortedIDs(set map[int]bool) []int {
@@ -307,24 +327,24 @@ func sortedIDs(set map[int]bool) []int {
 // transmission was corrupted the same instance is still pending here and
 // the B copy delivers it within the same slot.
 func (s *Scheduler) failoverStatic(slot int, now timebase.Macrotick) *sim.Transmission {
-	m, ok := s.env.StaticMsgs[slot]
-	if !ok || !s.env.Attached(m.Node, frame.ChannelB) {
+	m := s.env.StaticMsg(slot)
+	if m == nil || !s.env.Attached(m.Node, frame.ChannelB) {
 		return nil
 	}
-	ecu := s.env.ECUs[m.Node]
+	ecu := s.env.ECU(m.Node)
 	in := ecu.PeekStatic(slot, now)
 	if in == nil {
 		return nil
 	}
 	s.maybeSpawnCopies(in)
-	return &sim.Transmission{
+	return s.emit(sim.Transmission{
 		Instance:  in,
 		Channel:   frame.ChannelB,
 		Duration:  s.env.FrameDuration(m),
 		Retx:      in.Attempts > 0,
 		Redundant: true,
 		Detail:    "failover",
-	}
+	})
 }
 
 // FailoverActive reports whether dual-channel failover is currently engaged
@@ -333,7 +353,15 @@ func (s *Scheduler) FailoverActive() bool { return s.failoverActive }
 
 // ShedIDs returns the currently shed frame IDs in ascending order (for
 // tests and experiments).
-func (s *Scheduler) ShedIDs() []int { return sortedIDs(s.shed) }
+func (s *Scheduler) ShedIDs() []int {
+	ids := []int{}
+	for id, on := range s.shed {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
 
 // Controller returns the adaptive controller, or nil when Adaptive is off.
 func (s *Scheduler) Controller() *adapt.Controller { return s.ctl }

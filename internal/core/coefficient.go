@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/flexray-go/coefficient/internal/adapt"
@@ -124,8 +123,8 @@ type Scheduler struct {
 	opts Options
 	env  *sim.Env
 
-	// plan maps frame ID → k_z.
-	plan map[int]int
+	// plan holds k_z indexed densely by frame ID (planFor reads it).
+	plan []int
 
 	// Channel-A slack machinery (nil when the model is unavailable).
 	analysis *slack.Analysis
@@ -133,12 +132,13 @@ type Scheduler struct {
 	// taskIdx maps static frame IDs to priority indices of the analysis.
 	taskIdx map[int]int
 
-	// retx is the EDF-ordered retransmission queue; jobs indexes it by
-	// instance (reactive mode, where at most one job per instance
-	// exists).
-	retx    []*retxJob
-	jobs    map[*node.Instance]*retxJob
-	nextSeq int64
+	// retx is the EDF-ordered retransmission queue, kept sorted by
+	// (deadline, seq) via binary insertion; jobs indexes it by instance
+	// (reactive mode, where at most one job per instance exists).
+	retx     []*retxJob
+	jobs     map[*node.Instance]*retxJob
+	nextSeq  int64
+	jobArena retxArena
 	// spawned marks instances whose proactive copies were already
 	// enqueued.
 	spawned map[*node.Instance]bool
@@ -154,16 +154,68 @@ type Scheduler struct {
 	// planMeta caches per-message planning inputs for runtime replans.
 	planMeta []planEntry
 	// shed marks frame IDs currently removed from service by load
-	// shedding.
-	shed map[int]bool
+	// shedding, indexed densely by frame ID (empty when adaptive mode
+	// is off, so isShed is a bounds check).
+	shed []bool
 	// probeCycles counts consecutive cycles each channel has been
-	// suspect, driving the periodic probe.
-	probeCycles map[frame.Channel]int64
+	// suspect, driving the periodic probe (index 0 is channel A).
+	probeCycles [2]int64
 	// failoverActive is set while channel B substitutes for a suspect
 	// channel A.
 	failoverActive bool
 
+	// tx is the scratch transmission handed to the engine; the
+	// sim.Scheduler contract guarantees each transmission is fully
+	// consumed before the next scheduler call, so one value is reused
+	// instead of allocating per slot.
+	tx sim.Transmission
+
 	stats Stats
+}
+
+// retxArenaBlock is the job allocation granularity of retxArena.
+const retxArenaBlock = 64
+
+// retxArena block-allocates retransmission jobs.  Blocks are append-only
+// and never recycled within a run — a job keeps its identity until the run
+// ends — so reuse cannot perturb the deterministic queue order.
+type retxArena struct {
+	cur []retxJob
+}
+
+func (a *retxArena) new() *retxJob {
+	if len(a.cur) == cap(a.cur) {
+		a.cur = make([]retxJob, 0, retxArenaBlock)
+	}
+	a.cur = a.cur[:len(a.cur)+1]
+	return &a.cur[len(a.cur)-1]
+}
+
+// softCand is one slack-stealing candidate of stealSoft.
+type softCand struct {
+	in  *node.Instance
+	dur timebase.Macrotick
+}
+
+// emit fills the scratch transmission and returns it.
+//
+//perf:hotpath
+func (s *Scheduler) emit(tx sim.Transmission) *sim.Transmission {
+	s.tx = tx
+	return &s.tx
+}
+
+// planFor returns the retransmission budget k_z for a frame ID.
+func (s *Scheduler) planFor(id int) int {
+	if id >= 0 && id < len(s.plan) {
+		return s.plan[id]
+	}
+	return 0
+}
+
+// isShed reports whether the frame ID is currently shed.
+func (s *Scheduler) isShed(id int) bool {
+	return id >= 0 && id < len(s.shed) && s.shed[id]
 }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
@@ -190,7 +242,7 @@ func (s *Scheduler) Name() string { return "CoEfficient" }
 func (s *Scheduler) Stats() Stats { return s.stats }
 
 // Plan returns the retransmission budget k_z for a frame ID.
-func (s *Scheduler) Plan(frameID int) int { return s.plan[frameID] }
+func (s *Scheduler) Plan(frameID int) int { return s.planFor(frameID) }
 
 // Init implements sim.Scheduler: it computes the differentiated
 // retransmission plan and builds the channel-A slack analysis.
@@ -207,7 +259,13 @@ func (s *Scheduler) Init(env *sim.Env) error {
 // buildPlan runs the reliability planner over every message.  It also
 // caches the planning inputs (planMeta) that runtime replans reuse.
 func (s *Scheduler) buildPlan() error {
-	s.plan = make(map[int]int, len(s.env.Set.Messages))
+	maxID := 0
+	for i := range s.env.Set.Messages {
+		if id := s.env.Set.Messages[i].ID; id > maxID {
+			maxID = id
+		}
+	}
+	s.plan = make([]int, maxID+1)
 	s.planMeta = s.planMeta[:0]
 	for i := range s.env.Set.Messages {
 		m := &s.env.Set.Messages[i]
@@ -242,7 +300,9 @@ func (s *Scheduler) buildPlan() error {
 		return err
 	}
 	for i, e := range s.planMeta {
-		s.plan[e.id] = plan.Retransmissions[i]
+		if e.id >= 0 && e.id < len(s.plan) {
+			s.plan[e.id] = plan.Retransmissions[i]
+		}
 	}
 	s.stats.PlannedRetx = plan.Total()
 	return nil
@@ -336,6 +396,8 @@ func (s *Scheduler) purgeExpired(now timebase.Macrotick) {
 }
 
 // StaticSlot implements sim.Scheduler.
+//
+//perf:hotpath
 func (s *Scheduler) StaticSlot(ch frame.Channel, _ int64, slot int, now timebase.Macrotick) *sim.Transmission {
 	cfg := s.env.Cfg
 	if ch == frame.ChannelB {
@@ -353,17 +415,17 @@ func (s *Scheduler) StaticSlot(ch frame.Channel, _ int64, slot int, now timebase
 	}
 
 	// Channel A: the owner first.
-	if m, ok := s.env.StaticMsgs[slot]; ok && s.env.Attached(m.Node, ch) {
-		ecu := s.env.ECUs[m.Node]
+	if m := s.env.StaticMsg(slot); m != nil && s.env.Attached(m.Node, ch) {
+		ecu := s.env.ECU(m.Node)
 		if in := ecu.PeekStatic(slot, now); in != nil {
 			s.reportOwnerSlot(slot, in)
 			s.maybeSpawnCopies(in)
-			return &sim.Transmission{
+			return s.emit(sim.Transmission{
 				Instance: in,
 				Channel:  ch,
 				Duration: s.env.FrameDuration(m),
 				Retx:     in.Attempts > 0,
-			}
+			})
 		}
 	}
 	// Idle slot: steal it.
@@ -396,6 +458,8 @@ func (s *Scheduler) reportOwnerSlot(slot int, in *node.Instance) {
 // (selectively skipping frames that do not fit), then soft dynamic
 // messages (cooperative scheduling).  reportA says the choice must be
 // reported to the channel-A stealer.
+//
+//perf:hotpath
 func (s *Scheduler) pickSteal(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
 	if !s.stealAllowed(ch) {
 		// Suspect channel outside its probe cycle: burning proactive
@@ -418,6 +482,8 @@ func (s *Scheduler) pickSteal(ch frame.Channel, now, capacity timebase.Macrotick
 }
 
 // stealRetx serves the retransmission queue.
+//
+//perf:hotpath
 func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
 	if s.avoidRetx(ch) {
 		return nil
@@ -433,7 +499,7 @@ func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick
 			if staticSlack {
 				s.stats.StolenStatic++
 			}
-			return &sim.Transmission{
+			return s.emit(sim.Transmission{
 				Instance: j.in,
 				Channel:  ch,
 				Duration: j.duration,
@@ -441,7 +507,7 @@ func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick
 				Stolen:   staticSlack,
 				Detail:   "retx",
 				Tag:      j,
-			}
+			})
 		}
 		if s.opts.NoSelectiveSlack {
 			return nil // head-of-line blocking (ablation)
@@ -451,53 +517,65 @@ func (s *Scheduler) stealRetx(ch frame.Channel, now, capacity timebase.Macrotick
 }
 
 // stealSoft serves pending dynamic messages in static slack.
+//
+//perf:hotpath
 func (s *Scheduler) stealSoft(ch frame.Channel, now, capacity timebase.Macrotick, staticSlack, reportA bool) *sim.Transmission {
-	type cand struct {
-		in  *node.Instance
-		dur timebase.Macrotick
-	}
-	var cands []cand
+	// The sorted candidate list the original formulation built was only
+	// ever consumed up to its first usable entry, so a single-pass min
+	// selection over the total (priority, release, ID) order returns the
+	// identical candidate without collecting or sorting anything:
+	//   - selective slack (default): the best candidate whose frame fits
+	//     the remaining capacity;
+	//   - NoSelectiveSlack: the best candidate overall, which is rejected
+	//     outright when it does not fit.
+	var best softCand
+	found := false
 	for _, ecu := range s.env.OrderedECUs() {
 		in := ecu.PeekDynamicAny(now)
 		if in == nil || !s.env.Attached(in.Msg.Node, ch) {
 			continue
 		}
-		if s.shed[in.Msg.ID] {
+		if s.isShed(in.Msg.ID) {
 			continue
 		}
-		cands = append(cands, cand{in: in, dur: s.env.FrameDuration(in.Msg)})
+		c := softCand{in: in, dur: s.env.FrameDuration(in.Msg)}
+		if !s.opts.NoSelectiveSlack && c.dur > capacity {
+			continue
+		}
+		if !found || softLess(c, best) {
+			best = c
+			found = true
+		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i].in, cands[j].in
-		if a.Msg.Priority != b.Msg.Priority {
-			return a.Msg.Priority < b.Msg.Priority
-		}
-		if a.Release != b.Release {
-			return a.Release < b.Release
-		}
-		return a.Msg.ID < b.Msg.ID
+	if !found || best.dur > capacity {
+		return nil
+	}
+	s.reportSteal(reportA, best.dur, capacity)
+	if staticSlack {
+		s.stats.StolenSoft++
+	}
+	return s.emit(sim.Transmission{
+		Instance: best.in,
+		Channel:  ch,
+		Duration: best.dur,
+		Retx:     best.in.Attempts > 0,
+		Stolen:   staticSlack,
+		Detail:   "coop-dynamic",
 	})
-	for _, c := range cands {
-		if c.dur > capacity {
-			if s.opts.NoSelectiveSlack {
-				return nil
-			}
-			continue
-		}
-		s.reportSteal(reportA, c.dur, capacity)
-		if staticSlack {
-			s.stats.StolenSoft++
-		}
-		return &sim.Transmission{
-			Instance: c.in,
-			Channel:  ch,
-			Duration: c.dur,
-			Retx:     c.in.Attempts > 0,
-			Stolen:   staticSlack,
-			Detail:   "coop-dynamic",
-		}
+}
+
+// softLess orders slack-stealing candidates by (priority, release, ID).
+//
+//perf:hotpath
+func softLess(x, y softCand) bool {
+	a, b := x.in, y.in
+	if a.Msg.Priority != b.Msg.Priority {
+		return a.Msg.Priority < b.Msg.Priority
 	}
-	return nil
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.Msg.ID < b.Msg.ID
 }
 
 func (s *Scheduler) reportSteal(reportA bool, dur, capacity timebase.Macrotick) {
@@ -513,20 +591,22 @@ func (s *Scheduler) reportSteal(reportA bool, dur, capacity timebase.Macrotick) 
 // DynamicSlot implements sim.Scheduler: the FTDMA walk serves the priority
 // queue of the slot counter's frame ID, falling back to a retransmission
 // job with the matching frame ID.
+//
+//perf:hotpath
 func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remaining int, now timebase.Macrotick) *sim.Transmission {
 	if ch == frame.ChannelB && s.opts.SingleChannel {
 		return nil
 	}
-	m, ok := s.env.DynamicMsgs[slotCounter]
-	if !ok || !s.env.Attached(m.Node, ch) {
+	m := s.env.DynamicMsg(slotCounter)
+	if m == nil || !s.env.Attached(m.Node, ch) {
 		return nil
 	}
-	if s.shed[slotCounter] {
+	if s.isShed(slotCounter) {
 		return nil // shed by the adaptive controller
 	}
-	ecu := s.env.ECUs[m.Node]
+	ecu := s.env.ECU(m.Node)
 	dur := s.env.FrameDuration(m)
-	if s.env.Cfg.MinislotsForFrame(dur) > remaining {
+	if s.env.MinislotsFor(m) > remaining {
 		return nil
 	}
 	if in := ecu.PeekDynamicFor(slotCounter, now); in != nil {
@@ -534,12 +614,12 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 			s.dynSoftA += dur
 		}
 		s.maybeSpawnCopies(in)
-		return &sim.Transmission{
+		return s.emit(sim.Transmission{
 			Instance: in,
 			Channel:  ch,
 			Duration: dur,
 			Retx:     in.Attempts > 0,
-		}
+		})
 	}
 	// Retransmission job for this frame ID, if any fits the window.
 	for _, j := range s.retx {
@@ -555,14 +635,14 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 		if ch == frame.ChannelA {
 			s.dynHardA += j.duration
 		}
-		return &sim.Transmission{
+		return s.emit(sim.Transmission{
 			Instance: j.in,
 			Channel:  ch,
 			Duration: j.duration,
 			Retx:     true,
 			Detail:   "retx-dynamic",
 			Tag:      j,
-		}
+		})
 	}
 	return nil
 }
@@ -570,16 +650,16 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 // maybeSpawnCopies enqueues, in proactive mode, the k_z blind copy jobs of
 // an instance the first time its primary transmission is scheduled.
 func (s *Scheduler) maybeSpawnCopies(in *node.Instance) {
-	if s.opts.Reactive || s.spawned[in] {
+	if s.opts.Reactive {
 		return
 	}
-	k := s.plan[in.Msg.ID]
-	if k <= 0 {
+	k := s.planFor(in.Msg.ID)
+	if k <= 0 || s.spawned[in] {
 		return
 	}
 	s.spawned[in] = true
 	for i := 0; i < k; i++ {
-		s.enqueueJob(in, fmt.Sprintf("copy-%d-%d-%d", in.Msg.ID, in.Seq, i))
+		s.enqueueJob(in, "copy", i)
 	}
 }
 
@@ -610,7 +690,7 @@ func (s *Scheduler) Result(tx *sim.Transmission, ok bool, now timebase.Macrotick
 		return
 	}
 	// Transient fault: decide on a retransmission.
-	budget := s.plan[in.Msg.ID]
+	budget := s.planFor(in.Msg.ID)
 	if j, exists := s.jobs[in]; exists {
 		if in.Attempts <= budget {
 			return // the job stays queued and will retry
@@ -639,8 +719,10 @@ func (s *Scheduler) finish(in *node.Instance) {
 			s.removeJob(j)
 		}
 	}
-	delete(s.spawned, in)
-	ecu := s.env.ECUs[in.Msg.Node]
+	if len(s.spawned) != 0 {
+		delete(s.spawned, in)
+	}
+	ecu := s.env.ECU(in.Msg.Node)
 	if in.Msg.Kind == signal.Periodic {
 		ecu.RemoveStatic(in)
 	} else {
@@ -652,29 +734,36 @@ func (s *Scheduler) finish(in *node.Instance) {
 // job (reactive mode): it leaves its home queue and enters the EDF
 // retransmission queue.
 func (s *Scheduler) createJob(in *node.Instance) {
-	ecu := s.env.ECUs[in.Msg.Node]
+	ecu := s.env.ECU(in.Msg.Node)
 	if in.Msg.Kind == signal.Periodic {
 		ecu.RemoveStatic(in)
 	} else {
 		ecu.RemoveDynamic(in)
 	}
-	j := s.enqueueJob(in, fmt.Sprintf("retx-%d-%d", in.Msg.ID, in.Seq))
+	j := s.enqueueJob(in, "retx", -1)
 	s.jobs[in] = j
 }
 
 // enqueueJob creates one retransmission job with a slack-stealer admission
-// attempt on channel A and inserts it into the EDF queue.
-func (s *Scheduler) enqueueJob(in *node.Instance, name string) *retxJob {
+// attempt on channel A and inserts it into the EDF queue.  kind and
+// copyIdx name the job ("copy"/"retx"); the name string itself is built
+// only on the full-admission path, which is the only consumer.
+func (s *Scheduler) enqueueJob(in *node.Instance, kind string, copyIdx int) *retxJob {
 	s.nextSeq++
-	j := &retxJob{
+	j := s.jobArena.new()
+	*j = retxJob{
 		in:       in,
 		deadline: in.Deadline,
 		duration: s.env.FrameDuration(in.Msg),
-		name:     name,
 		seq:      s.nextSeq,
 	}
 	if s.stealer != nil && j.deadline != node.NoDeadline && j.deadline > s.stealer.Now() {
 		if s.opts.FullAdmission {
+			if copyIdx >= 0 {
+				j.name = fmt.Sprintf("%s-%d-%d-%d", kind, in.Msg.ID, in.Seq, copyIdx)
+			} else {
+				j.name = fmt.Sprintf("%s-%d-%d", kind, in.Msg.ID, in.Seq)
+			}
 			ap := task.Aperiodic{
 				Name:    j.name,
 				Arrival: s.stealer.Now(),
@@ -694,13 +783,23 @@ func (s *Scheduler) enqueueJob(in *node.Instance, name string) *retxJob {
 			s.stats.JobsAdmitted++
 		}
 	}
-	s.retx = append(s.retx, j)
-	sort.SliceStable(s.retx, func(a, b int) bool {
-		if s.retx[a].deadline != s.retx[b].deadline {
-			return s.retx[a].deadline < s.retx[b].deadline
+	// Binary insertion by (deadline, seq).  seq is unique and strictly
+	// increasing, so the order is total and the queue position matches
+	// what append + sort.SliceStable produced: among equal deadlines the
+	// new job (largest seq) lands last.
+	lo, hi := 0, len(s.retx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		q := s.retx[mid]
+		if q.deadline < j.deadline || (q.deadline == j.deadline && q.seq < j.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return s.retx[a].seq < s.retx[b].seq
-	})
+	}
+	s.retx = append(s.retx, nil)
+	copy(s.retx[lo+1:], s.retx[lo:])
+	s.retx[lo] = j
 	s.stats.JobsCreated++
 	return j
 }
@@ -738,7 +837,7 @@ func (s *Scheduler) releaseAdmission(j *retxJob) {
 // requeueHome puts an instance back into its ECU queue for best-effort
 // service.
 func (s *Scheduler) requeueHome(in *node.Instance) {
-	ecu := s.env.ECUs[in.Msg.Node]
+	ecu := s.env.ECU(in.Msg.Node)
 	var err error
 	if in.Msg.Kind == signal.Periodic {
 		err = ecu.RequeueStatic(in)
@@ -753,10 +852,17 @@ func (s *Scheduler) requeueHome(in *node.Instance) {
 
 // InstanceDropped implements sim.Scheduler.
 func (s *Scheduler) InstanceDropped(in *node.Instance, _ timebase.Macrotick) {
-	if j, exists := s.jobs[in]; exists {
-		s.removeJob(j)
+	if len(s.jobs) != 0 {
+		if j, exists := s.jobs[in]; exists {
+			s.removeJob(j)
+		}
 	}
-	delete(s.spawned, in)
+	if len(s.spawned) != 0 {
+		delete(s.spawned, in)
+	}
+	if len(s.retx) == 0 {
+		return
+	}
 	// Proactive copies of a dropped instance are pointless: discard them.
 	keep := s.retx[:0]
 	for _, j := range s.retx {

@@ -42,7 +42,7 @@ func profileFixture(t *testing.T, seed uint64) *Profile {
 	t.Helper()
 	p, err := NewProfile(1e-7,
 		[]BERPhase{
-			{Start: 10_000, End: 20_000, From: 1e-7, To: 1e-4}, // ramp
+			{Start: 10_000, End: 20_000, From: 1e-7, To: 1e-4},  // ramp
 			{Start: 40_000, End: OpenEnd, From: 1e-4, To: 1e-4}, // step
 		},
 		[]BurstWindow{
@@ -88,14 +88,14 @@ func TestProfileBERAt(t *testing.T) {
 		at   timebase.Macrotick
 		want float64
 	}{
-		{0, 1e-7},       // base
-		{9_999, 1e-7},   // base, just before the ramp
-		{10_000, 1e-7},  // ramp start
+		{0, 1e-7},                        // base
+		{9_999, 1e-7},                    // base, just before the ramp
+		{10_000, 1e-7},                   // ramp start
 		{15_000, 1e-7 + (1e-4-1e-7)*0.5}, // ramp midpoint
-		{20_000, 1e-7},  // ramp end is exclusive: back to base
-		{39_999, 1e-7},  // between windows
-		{40_000, 1e-4},  // step
-		{1 << 40, 1e-4}, // open-ended step holds forever
+		{20_000, 1e-7},                   // ramp end is exclusive: back to base
+		{39_999, 1e-7},                   // between windows
+		{40_000, 1e-4},                   // step
+		{1 << 40, 1e-4},                  // open-ended step holds forever
 	}
 	for _, tt := range tests {
 		got := p.BERAt(tt.at)

@@ -35,6 +35,44 @@ func FrameFailureProb(ber float64, bits int) (float64, error) {
 	return -math.Expm1(float64(bits) * math.Log1p(-ber)), nil
 }
 
+// probCacheMaxBits bounds the frame sizes memoized by probCache; larger
+// frames fall back to computing the probability directly.
+const probCacheMaxBits = 1 << 14
+
+// probCache memoizes FrameFailureProb for one fixed BER, indexed densely by
+// frame size.  A workload uses only a handful of distinct wire sizes, so the
+// expm1/log1p evaluation — which dominated the simulation hot path — runs
+// once per size instead of once per transmission.  The cached value is the
+// exact float FrameFailureProb returns, so the injector's Bernoulli draw
+// stream is bit-identical with and without the cache.
+type probCache struct {
+	p    []float64
+	seen []bool
+}
+
+func (c *probCache) prob(ber float64, bits int) (float64, error) {
+	if bits >= probCacheMaxBits {
+		return FrameFailureProb(ber, bits)
+	}
+	if bits >= len(c.p) {
+		np := make([]float64, bits+1)
+		ns := make([]bool, bits+1)
+		copy(np, c.p)
+		copy(ns, c.seen)
+		c.p, c.seen = np, ns
+	}
+	if c.seen[bits] {
+		return c.p[bits], nil
+	}
+	p, err := FrameFailureProb(ber, bits)
+	if err != nil {
+		return 0, err
+	}
+	c.p[bits] = p
+	c.seen[bits] = true
+	return p, nil
+}
+
 // Injector decides, per transmission, whether a transient fault corrupts the
 // frame.  Implementations must be deterministic given their seed.
 type Injector interface {
@@ -67,6 +105,7 @@ type BERInjector struct {
 	ber   float64
 	rng   *RNG
 	stats Stats
+	cache probCache
 }
 
 var _ Injector = (*BERInjector)(nil)
@@ -84,12 +123,12 @@ func (b *BERInjector) Corrupts(bits int) bool {
 	if bits <= 0 {
 		return false
 	}
-	p, err := FrameFailureProb(b.ber, bits)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, err := b.cache.prob(b.ber, bits)
 	if err != nil {
 		return false
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.stats.Transmissions++
 	hit := b.rng.Bernoulli(p)
 	if hit {
@@ -119,6 +158,9 @@ type GilbertElliott struct {
 	bad   bool
 	rng   *RNG
 	stats Stats
+	// cacheGood and cacheBad memoize the per-state failure probabilities.
+	cacheGood probCache
+	cacheBad  probCache
 }
 
 var _ Injector = (*GilbertElliott)(nil)
@@ -156,11 +198,11 @@ func (g *GilbertElliott) Corrupts(bits int) bool {
 	} else if g.rng.Bernoulli(g.cfg.PGoodToBad) {
 		g.bad = true
 	}
-	ber := g.cfg.BERGood
+	ber, cache := g.cfg.BERGood, &g.cacheGood
 	if g.bad {
-		ber = g.cfg.BERBad
+		ber, cache = g.cfg.BERBad, &g.cacheBad
 	}
-	p, err := FrameFailureProb(ber, bits)
+	p, err := cache.prob(ber, bits)
 	if err != nil {
 		return false
 	}

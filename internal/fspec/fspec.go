@@ -42,11 +42,18 @@ type Scheduler struct {
 	// the two channels.
 	maxAttempts int
 	// lastStatic remembers, per static slot, the instance channel A
-	// transmitted this cycle so channel B duplicates it.
-	lastStatic map[int]*node.Instance
+	// transmitted this cycle so channel B duplicates it.  Indexed
+	// densely by slot (sized at Init) so the per-slot path does no map
+	// hashing; cleared every cycle.
+	lastStatic []*node.Instance
 	// lastDynamic remembers, per dynamic slot counter, the instance
 	// channel A transmitted this cycle.
-	lastDynamic map[int]*node.Instance
+	lastDynamic []*node.Instance
+	// tx is the scratch transmission handed to the engine.  The
+	// sim.Scheduler contract guarantees each transmission is fully
+	// consumed (Result called) before the next scheduler call, so one
+	// value can be reused without another heap allocation per slot.
+	tx sim.Transmission
 }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
@@ -59,8 +66,6 @@ func New(opts Options) *Scheduler {
 	return &Scheduler{
 		opts:        opts,
 		maxAttempts: 2 * opts.Copies,
-		lastStatic:  make(map[int]*node.Instance),
-		lastDynamic: make(map[int]*node.Instance),
 	}
 }
 
@@ -70,6 +75,14 @@ func (s *Scheduler) Name() string { return "FSPEC" }
 // Init implements sim.Scheduler.
 func (s *Scheduler) Init(env *sim.Env) error {
 	s.env = env
+	maxID := env.Cfg.StaticSlots
+	for i := range env.Set.Messages {
+		if id := env.Set.Messages[i].ID; id > maxID {
+			maxID = id
+		}
+	}
+	s.lastStatic = make([]*node.Instance, env.Cfg.StaticSlots+1)
+	s.lastDynamic = make([]*node.Instance, maxID+1)
 	return nil
 }
 
@@ -79,9 +92,19 @@ func (s *Scheduler) CycleStart(int64, timebase.Macrotick) {
 	clear(s.lastDynamic)
 }
 
+// emit fills the scratch transmission and returns it.
+//
+//perf:hotpath
+func (s *Scheduler) emit(tx sim.Transmission) *sim.Transmission {
+	s.tx = tx
+	return &s.tx
+}
+
 // pickStatic selects the channel-A instance for a static slot: first any
 // instance still inside its blind-copy budget (delivered or not — the
 // protocol cannot know), then, best-effort, the oldest undelivered one.
+//
+//perf:hotpath
 func (s *Scheduler) pickStatic(ecu *node.ECU, slot int, now timebase.Macrotick) *node.Instance {
 	if in := ecu.PeekStaticBlind(slot, now, s.maxAttempts); in != nil {
 		return in
@@ -90,47 +113,51 @@ func (s *Scheduler) pickStatic(ecu *node.ECU, slot int, now timebase.Macrotick) 
 }
 
 // StaticSlot implements sim.Scheduler.
+//
+//perf:hotpath
 func (s *Scheduler) StaticSlot(ch frame.Channel, _ int64, slot int, now timebase.Macrotick) *sim.Transmission {
-	m, ok := s.env.StaticMsgs[slot]
-	if !ok {
+	m := s.env.StaticMsg(slot)
+	if m == nil {
 		return nil
 	}
 	if !s.env.Attached(m.Node, ch) {
 		return nil
 	}
-	ecu := s.env.ECUs[m.Node]
+	ecu := s.env.ECU(m.Node)
 	if ch == frame.ChannelA {
 		in := s.pickStatic(ecu, slot, now)
 		if in == nil {
 			return nil
 		}
 		s.lastStatic[slot] = in
-		return &sim.Transmission{
+		return s.emit(sim.Transmission{
 			Instance: in,
 			Channel:  ch,
 			Duration: s.env.FrameDuration(m),
 			Retx:     in.Attempts > 0,
-		}
+		})
 	}
 	in := s.lastStatic[slot]
 	if in == nil {
 		return nil
 	}
-	return &sim.Transmission{
+	return s.emit(sim.Transmission{
 		Instance:  in,
 		Channel:   ch,
 		Duration:  s.env.FrameDuration(m),
 		Retx:      in.Attempts > 1, // the A copy of this cycle already counted
 		Redundant: true,
-	}
+	})
 }
 
 // DynamicSlot implements sim.Scheduler: the FTDMA walk transmits the head
 // of the priority queue for the slot counter's frame ID; channel B repeats
 // channel A's choice.
+//
+//perf:hotpath
 func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remaining int, now timebase.Macrotick) *sim.Transmission {
-	m, ok := s.env.DynamicMsgs[slotCounter]
-	if !ok {
+	m := s.env.DynamicMsg(slotCounter)
+	if m == nil || slotCounter >= len(s.lastDynamic) {
 		return nil
 	}
 	if s.env.MinislotsFor(m) > remaining {
@@ -139,7 +166,7 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 	if !s.env.Attached(m.Node, ch) {
 		return nil
 	}
-	ecu := s.env.ECUs[m.Node]
+	ecu := s.env.ECU(m.Node)
 	if ch == frame.ChannelA {
 		in := ecu.PeekDynamicForBlind(slotCounter, now, s.maxAttempts)
 		if in == nil {
@@ -149,24 +176,24 @@ func (s *Scheduler) DynamicSlot(ch frame.Channel, _ int64, slotCounter, _, remai
 			return nil
 		}
 		s.lastDynamic[slotCounter] = in
-		return &sim.Transmission{
+		return s.emit(sim.Transmission{
 			Instance: in,
 			Channel:  ch,
 			Duration: s.env.FrameDuration(m),
 			Retx:     in.Attempts > 0,
-		}
+		})
 	}
 	in := s.lastDynamic[slotCounter]
 	if in == nil {
 		return nil
 	}
-	return &sim.Transmission{
+	return s.emit(sim.Transmission{
 		Instance:  in,
 		Channel:   ch,
 		Duration:  s.env.FrameDuration(m),
 		Retx:      in.Attempts > 1,
 		Redundant: true,
-	}
+	})
 }
 
 // Result implements sim.Scheduler: an instance leaves its queue once it is
@@ -177,7 +204,7 @@ func (s *Scheduler) Result(tx *sim.Transmission, _ bool, _ timebase.Macrotick) {
 	if !in.Done || in.Attempts < s.maxAttempts {
 		return
 	}
-	ecu := s.env.ECUs[in.Msg.Node]
+	ecu := s.env.ECU(in.Msg.Node)
 	if in.Msg.Kind == signal.Periodic {
 		ecu.RemoveStatic(in)
 	} else {

@@ -95,7 +95,7 @@ func (d Diagnostic) String() string {
 
 // Suite returns all analyzers in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{ErrDrop, GoroutineLeak, MapIter, Wallclock}
+	return []*Analyzer{ErrDrop, GoroutineLeak, HotPath, MapIter, Wallclock}
 }
 
 // ByName returns the named analyzer from the suite, or nil.
@@ -125,6 +125,13 @@ var criticalScope = map[string][]string{
 	},
 	"goroutineleak": {"internal/runner", "internal/sim"},
 	"errdrop":       nil, // whole repository
+	// hotpath only fires inside functions that opt in with a
+	// //perf:hotpath marker, so it is scoped to the packages the
+	// engine's cycle loop traverses.
+	"hotpath": {
+		"internal/sim", "internal/core", "internal/fspec",
+		"internal/node", "internal/trace", "internal/fault",
+	},
 }
 
 // Applies reports whether the analyzer runs over the package with the

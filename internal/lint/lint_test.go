@@ -39,6 +39,13 @@ func TestGoroutineLeak(t *testing.T) {
 	linttest.Run(t, "testdata/src/goroutineleak", lint.GoroutineLeak)
 }
 
+// TestHotPath checks that allocating constructs in //perf:hotpath
+// functions are flagged while unmarked functions and non-allocating
+// bodies are not.
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotpath", lint.HotPath)
+}
+
 // TestSuite pins the suite's membership: every analyzer is registered
 // and resolvable by name for //lint:allow validation and -only flags.
 func TestSuite(t *testing.T) {
@@ -52,7 +59,7 @@ func TestSuite(t *testing.T) {
 			t.Errorf("ByName(%q) does not round-trip", a.Name)
 		}
 	}
-	for _, want := range []string{"mapiter", "wallclock", "errdrop", "goroutineleak"} {
+	for _, want := range []string{"mapiter", "wallclock", "errdrop", "goroutineleak", "hotpath"} {
 		if !names[want] {
 			t.Errorf("suite is missing %q", want)
 		}
@@ -88,6 +95,12 @@ func TestApplies(t *testing.T) {
 		{"goroutineleak", mod + "/internal/runner", true},
 		{"goroutineleak", mod + "/internal/sim", true},
 		{"goroutineleak", mod + "/internal/experiment", false},
+		{"hotpath", mod + "/internal/sim", true},
+		{"hotpath", mod + "/internal/core", true},
+		{"hotpath", mod + "/internal/fspec", true},
+		{"hotpath", mod + "/internal/node", true},
+		{"hotpath", mod + "/internal/trace", true},
+		{"hotpath", mod + "/internal/plot", false},
 	}
 	for _, c := range cases {
 		a := lint.ByName(c.analyzer)

@@ -1,0 +1,142 @@
+// Package hotpath exercises the hotpath analyzer: allocating constructs
+// inside //perf:hotpath functions are flagged; the same constructs in
+// unmarked functions, and non-allocating work in marked functions, are
+// not.
+package hotpath
+
+import "fmt"
+
+// event is a small value type like trace.Event.
+type event struct {
+	time int64
+	kind int
+}
+
+// sink consumes events.
+type sink struct {
+	counts [4]int64
+	buf    []event
+}
+
+// makeSlice allocates a fresh slice every call: flagged.
+//
+//perf:hotpath
+func makeSlice(n int) []int {
+	return make([]int, n) // want `makeSlice is marked //perf:hotpath but make allocates`
+}
+
+// newStruct heap-allocates through new: flagged.
+//
+//perf:hotpath
+func newStruct() *event {
+	return new(event) // want `newStruct is marked //perf:hotpath but new allocates`
+}
+
+// grow appends without a capacity guarantee: flagged.
+//
+//perf:hotpath
+func grow(s *sink, e event) {
+	s.buf = append(s.buf, e) // want `grow is marked //perf:hotpath but append may grow and allocate`
+}
+
+// escape takes the address of a composite literal: flagged.
+//
+//perf:hotpath
+func escape(t int64) *event {
+	return &event{time: t} // want `escape is marked //perf:hotpath but &composite literal allocates`
+}
+
+// sliceLit builds a slice literal: flagged.
+//
+//perf:hotpath
+func sliceLit(a, b int) []int {
+	return []int{a, b} // want `sliceLit is marked //perf:hotpath but slice literal allocates`
+}
+
+// mapLit builds a map literal: flagged.
+//
+//perf:hotpath
+func mapLit(k int) map[int]bool {
+	return map[int]bool{k: true} // want `mapLit is marked //perf:hotpath but map literal allocates`
+}
+
+// closure allocates a function literal: flagged.
+//
+//perf:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `closure is marked //perf:hotpath but a function literal allocates its closure`
+}
+
+// deferred allocates a defer frame: flagged.
+//
+//perf:hotpath
+func deferred(s *sink) {
+	defer reset(s) // want `deferred is marked //perf:hotpath but defer allocates its frame`
+}
+
+// concat builds a new string: flagged.
+//
+//perf:hotpath
+func concat(a, b string) string {
+	return a + b // want `concat is marked //perf:hotpath but string concatenation allocates`
+}
+
+// convert copies a byte slice into a string: flagged.
+//
+//perf:hotpath
+func convert(b []byte) string {
+	return string(b) // want `convert is marked //perf:hotpath but string conversion allocates`
+}
+
+// format boxes its arguments into interfaces: flagged.
+//
+//perf:hotpath
+func format(id int) string {
+	return fmt.Sprintf("msg-%d", id) // want `format is marked //perf:hotpath but fmt\.Sprintf allocates via interface arguments`
+}
+
+// spawn starts a goroutine: flagged.
+//
+//perf:hotpath
+func spawn(s *sink) {
+	go reset(s) // want `spawn is marked //perf:hotpath but go statements allocate`
+}
+
+// record does index writes, arithmetic and struct-value passing only:
+// not flagged.  A plain composite value (event{...}) stays on the
+// stack.
+//
+//perf:hotpath
+func record(s *sink, kind int, t int64) {
+	e := event{time: t, kind: kind}
+	s.counts[e.kind]++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = s.buf[:len(s.buf)+1]
+		s.buf[len(s.buf)-1] = e
+	}
+}
+
+// allowed documents a cold allocation with a justified suppression: not
+// flagged.
+//
+//perf:hotpath
+func allowed(n int) []int {
+	//lint:allow hotpath one-time warm-up outside the steady-state loop
+	return make([]int, n)
+}
+
+// coldPath allocates freely because it carries no marker: not flagged.
+func coldPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// reset is a helper for the defer/go cases.
+func reset(s *sink) {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+}

@@ -18,8 +18,12 @@ type Series struct {
 	sum     float64
 }
 
-// Add appends a sample.
+// Add appends a sample.  The first append reserves a chunk so long series
+// skip the small growth steps of append's doubling schedule.
 func (s *Series) Add(v float64) {
+	if s.samples == nil {
+		s.samples = make([]float64, 0, 64)
+	}
 	s.samples = append(s.samples, v)
 	s.sorted = false
 	s.sum += v
@@ -117,15 +121,18 @@ func (k SegmentKind) String() string {
 type Collector struct {
 	cfg timebase.Config
 
-	// latency holds per-kind delivery latencies in macroticks.
-	latency map[SegmentKind]*Series
+	// latency holds per-kind delivery latencies in macroticks, indexed by
+	// SegmentKind (valid kinds are 1 and 2, so a 3-element array replaces
+	// a map on the per-delivery path).
+	latency [int(Dynamic) + 1]*Series
 	// perFrame holds per-frame-ID delivery latencies in macroticks
-	// (Figure 4a plots latency against frame ID).
-	perFrame map[int]*Series
+	// (Figure 4a plots latency against frame ID), indexed densely by
+	// frame ID and grown on demand.
+	perFrame []*Series
 	// delivered/missed/dropped instances per kind.
-	delivered map[SegmentKind]int64
-	missed    map[SegmentKind]int64
-	dropped   map[SegmentKind]int64
+	delivered [int(Dynamic) + 1]int64
+	missed    [int(Dynamic) + 1]int64
+	dropped   [int(Dynamic) + 1]int64
 	// busyMT accumulates useful channel-busy macroticks: wire time of the
 	// transmissions that first delivered an instance.  Redundant copies,
 	// faulted attempts and surplus retransmissions do not count — this is
@@ -332,17 +339,10 @@ func (c *Collector) SyncHealth() *SyncGauges { return &c.sync }
 
 // NewCollector returns a collector for simulations under cfg.
 func NewCollector(cfg timebase.Config) *Collector {
-	return &Collector{
-		cfg: cfg,
-		latency: map[SegmentKind]*Series{
-			Static:  {},
-			Dynamic: {},
-		},
-		perFrame:  make(map[int]*Series),
-		delivered: make(map[SegmentKind]int64),
-		missed:    make(map[SegmentKind]int64),
-		dropped:   make(map[SegmentKind]int64),
-	}
+	c := &Collector{cfg: cfg}
+	c.latency[Static] = &Series{}
+	c.latency[Dynamic] = &Series{}
+	return c
 }
 
 // Delivered records a successful delivery: release-to-completion latency and
@@ -356,8 +356,13 @@ func (c *Collector) Delivered(kind SegmentKind, release, completion, deadline ti
 func (c *Collector) DeliveredFrame(kind SegmentKind, frameID int, release, completion, deadline timebase.Macrotick) {
 	c.latency[kind].Add(float64(completion - release))
 	if frameID > 0 {
-		s, ok := c.perFrame[frameID]
-		if !ok {
+		if frameID >= len(c.perFrame) {
+			grown := make([]*Series, frameID+1)
+			copy(grown, c.perFrame)
+			c.perFrame = grown
+		}
+		s := c.perFrame[frameID]
+		if s == nil {
 			s = &Series{}
 			c.perFrame[frameID] = s
 		}
@@ -466,6 +471,9 @@ func (c *Collector) Report() Report {
 		}
 	}
 	for id, s := range c.perFrame {
+		if s == nil {
+			continue
+		}
 		r.PerFrameMean[id] = c.cfg.ToDuration(timebase.Macrotick(s.Mean()))
 	}
 	for _, kind := range []SegmentKind{Static, Dynamic} {

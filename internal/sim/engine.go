@@ -89,8 +89,13 @@ type Options struct {
 	// MaxCycles caps the simulation length as a safety net (Batch);
 	// 0 means 1<<20 cycles.
 	MaxCycles int64
-	// Recorder optionally captures the bus trace.
+	// Recorder optionally captures the bus trace.  Shorthand for
+	// Sink: recorder; at most one of Recorder and Sink may be set.
 	Recorder *trace.Recorder
+	// Sink optionally receives every bus event.  Use trace.New() to
+	// retain events, a *trace.CountingSink for zero-allocation counting,
+	// or leave both Sink and Recorder nil to discard events entirely.
+	Sink trace.Sink
 }
 
 func (o *Options) validate() error {
@@ -105,6 +110,9 @@ func (o *Options) validate() error {
 	}
 	if o.CHIStaticCapacity < 0 || o.CHIDynamicCapacity < 0 {
 		return fmt.Errorf("%w: negative CHI capacity", ErrBadOptions)
+	}
+	if o.Recorder != nil && o.Sink != nil {
+		return fmt.Errorf("%w: both Recorder and Sink set", ErrBadOptions)
 	}
 	// Iterate the node maps in sorted ID order so which validation error
 	// is reported does not depend on Go's randomized map iteration.
@@ -223,7 +231,19 @@ type engine struct {
 	sched Scheduler
 	env   *Env
 	col   *metrics.Collector
-	rec   *trace.Recorder
+	// sink receives every bus event; never nil (NullSink when tracing is
+	// off), so the hot path records unconditionally with no nil checks.
+	sink trace.Sink
+
+	// injA/injB are the per-channel injectors after any scenario
+	// override, and tvA/tvB their time-varying views — the type
+	// assertion is done once here instead of per transmission.
+	injA, injB fault.Injector
+	tvA, tvB   fault.TimeVarying
+
+	// liveness is false when no node can ever be down (no scripted
+	// failures, no scenario), letting nodeAlive return early.
+	liveness bool
 
 	// rel generates instance releases.
 	rel *releaser
@@ -296,12 +316,20 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 	}
 	env.LatestTx = lt
 
+	sink := opts.Sink
+	if sink == nil {
+		if opts.Recorder != nil {
+			sink = opts.Recorder
+		} else {
+			sink = trace.NullSink{}
+		}
+	}
 	eng := &engine{
 		opts:     opts,
 		sched:    sched,
 		env:      env,
 		col:      metrics.NewCollector(cfg),
-		rec:      opts.Recorder,
+		sink:     sink,
 		latestTx: lt,
 	}
 	if opts.Mode == Streaming {
@@ -323,6 +351,10 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 		}
 	}
 	eng.initNodeWatch()
+	eng.injA, eng.injB = eng.opts.InjectorA, eng.opts.InjectorB
+	eng.tvA, _ = eng.injA.(fault.TimeVarying)
+	eng.tvB, _ = eng.injB.(fault.TimeVarying)
+	eng.liveness = len(opts.NodeFailures) > 0 || eng.scn != nil
 	eng.crcRNG = fault.NewRNG(opts.Seed ^ seedCRC)
 	// Scenario-scripted timing faults need the local-clock layer even
 	// when the run options leave it off.
@@ -334,8 +366,9 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 		eng.timing = newTimingState(topts, eng)
 		env.Sync = eng.timing.monitor
 	}
-	env.Trace = opts.Recorder
+	env.Trace = sink
 	env.Gauges = eng.col.Adaptive()
+	env.compile()
 	eng.rel = newReleaser(opts, env)
 	eng.rel.overflow = func(in *node.Instance, rel timebase.Macrotick) {
 		eng.dropInstance(in, rel)
@@ -378,33 +411,7 @@ func (e *engine) run() (Result, error) {
 	lastProgress := int64(0)
 	doneAtLastProgress := int64(-1)
 	for cycle := int64(0); cycle < endCycle; cycle++ {
-		now := cfg.CycleStart(cycle)
-		if e.opts.Mode == Streaming {
-			e.rel.enqueueCycle(cycle)
-			e.dropExpired(now)
-		}
-		e.watchNodes(now)
-		if e.timing != nil {
-			e.timing.cycleStart(e, cycle, now)
-		}
-		e.sched.CycleStart(cycle, now)
-		for _, ecu := range e.env.OrderedECUs() {
-			ecu.ResetSlotCounters()
-		}
-
-		e.runStaticSegment(cycle)
-		e.runDynamicSegment(cycle)
-
-		// FTM sync runs per double-cycle in the network idle time of the
-		// odd cycle, after all traffic of the cycle.
-		if e.timing != nil && cycle%2 == 1 {
-			nit := cfg.CycleStart(cycle+1) - cfg.NetworkIdleLen()
-			e.timing.endOfDoubleCycle(e, cycle, nit)
-		}
-
-		if now >= e.warmup {
-			e.col.ChannelTime(2 * cfg.MacroPerCycle)
-		}
+		e.runCycle(cycle)
 
 		if e.opts.Mode == Batch {
 			if e.done >= e.total {
@@ -429,6 +436,43 @@ func (e *engine) run() (Result, error) {
 // stallCycles is the no-progress limit for batch runs.
 const stallCycles = 20000
 
+// runCycle simulates one communication cycle — the steady-state loop
+// body the allocation-regression tests measure.
+func (e *engine) runCycle(cycle int64) {
+	cfg := e.opts.Config
+	now := cfg.CycleStart(cycle)
+	if e.opts.Mode == Streaming {
+		e.rel.enqueueCycle(cycle)
+		e.dropExpired(now)
+	}
+	e.watchNodes(now)
+	if e.timing != nil {
+		e.timing.cycleStart(e, cycle, now)
+	}
+	e.sched.CycleStart(cycle, now)
+	for _, ecu := range e.env.OrderedECUs() {
+		ecu.ResetSlotCounters()
+	}
+
+	e.runStaticSegment(cycle)
+	e.runDynamicSegment(cycle)
+
+	// FTM sync runs per double-cycle in the network idle time of the
+	// odd cycle, after all traffic of the cycle.
+	if e.timing != nil && cycle%2 == 1 {
+		nit := cfg.CycleStart(cycle+1) - cfg.NetworkIdleLen()
+		e.timing.endOfDoubleCycle(e, cycle, nit)
+	}
+
+	if now >= e.warmup {
+		e.col.ChannelTime(2 * cfg.MacroPerCycle)
+	}
+}
+
+// bothChannels is the fixed channel walk order of every segment, hoisted
+// so the per-cycle loops do not rebuild a slice literal.
+var bothChannels = [2]frame.Channel{frame.ChannelA, frame.ChannelB}
+
 func (e *engine) result(cycles int64) Result {
 	return Result{
 		Report:    e.col.Report(),
@@ -440,15 +484,18 @@ func (e *engine) result(cycles int64) Result {
 }
 
 // runStaticSegment walks the TDMA slots of one cycle on both channels.
+//
+//perf:hotpath
 func (e *engine) runStaticSegment(cycle int64) {
 	cfg := e.opts.Config
+	cycleStart := cfg.CycleStart(cycle)
 	for slot := 1; slot <= cfg.StaticSlots; slot++ {
-		slotStart := cfg.StaticSlotStart(cycle, slot)
+		slotStart := cycleStart + timebase.Macrotick(slot-1)*cfg.StaticSlotLen
 		ownerNode := -1
-		if m, ok := e.env.StaticMsgs[slot]; ok {
+		if m := e.env.StaticMsg(slot); m != nil {
 			ownerNode = m.Node
 		}
-		for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+		for _, ch := range bothChannels {
 			// A scripted babbling idiot drives every slot it does not
 			// own; uncontained, it collides with the slot's legitimate
 			// frame.
@@ -499,8 +546,7 @@ func (e *engine) checkStaticTx(tx *Transmission, ch frame.Channel) error {
 		return fmt.Errorf("%w: frame %d macroticks exceeds static slot %d",
 			ErrBadTransmission, tx.Duration, e.opts.Config.StaticSlotLen)
 	}
-	n, ok := e.opts.Cluster.Node(tx.Instance.Msg.Node)
-	if !ok || !n.Attached(ch) {
+	if !e.env.Attached(tx.Instance.Msg.Node, ch) {
 		return fmt.Errorf("%w: node %d not attached to channel %v",
 			ErrBadTransmission, tx.Instance.Msg.Node, ch)
 	}
@@ -508,16 +554,19 @@ func (e *engine) checkStaticTx(tx *Transmission, ch frame.Channel) error {
 }
 
 // runDynamicSegment walks the FTDMA minislots of one cycle, per channel.
+//
+//perf:hotpath
 func (e *engine) runDynamicSegment(cycle int64) {
 	cfg := e.opts.Config
 	if cfg.Minislots == 0 {
 		return
 	}
-	for _, ch := range []frame.Channel{frame.ChannelA, frame.ChannelB} {
+	segStart := cfg.DynamicSegmentStart(cycle)
+	for _, ch := range bothChannels {
 		minislot := 1
 		slotCounter := cfg.StaticSlots + 1
 		for minislot <= cfg.Minislots {
-			now := cfg.MinislotStart(cycle, minislot)
+			now := segStart + timebase.Macrotick(minislot-1)*cfg.MinislotLen
 			remaining := cfg.Minislots - minislot + 1
 			var tx *Transmission
 			if minislot <= e.latestTx {
@@ -549,8 +598,7 @@ func (e *engine) checkDynamicTx(tx *Transmission, ch frame.Channel, need, remain
 	if need > remaining {
 		return fmt.Errorf("%w: needs %d minislots, %d remain", ErrBadTransmission, need, remaining)
 	}
-	n, ok := e.opts.Cluster.Node(tx.Instance.Msg.Node)
-	if !ok || !n.Attached(ch) {
+	if !e.env.Attached(tx.Instance.Msg.Node, ch) {
 		return fmt.Errorf("%w: node %d not attached to channel %v",
 			ErrBadTransmission, tx.Instance.Msg.Node, ch)
 	}
@@ -560,7 +608,12 @@ func (e *engine) checkDynamicTx(tx *Transmission, ch frame.Channel, need, remain
 // nodeAlive reports whether the node is transmitting at t: it has not
 // failed, or it failed and has already recovered, and no scripted
 // scenario interval holds it down.
+//
+//perf:hotpath
 func (e *engine) nodeAlive(nodeID int, t timebase.Macrotick) bool {
+	if !e.liveness {
+		return true
+	}
 	if at, failed := e.opts.NodeFailures[nodeID]; failed && t >= at {
 		rec, recovers := e.opts.NodeRecoveries[nodeID]
 		if !recovers || t < rec {
@@ -629,6 +682,8 @@ func (e *engine) recordInvalid(tx *Transmission, ch frame.Channel, at timebase.M
 // metrics and informs the scheduler.  forced is a non-empty fault detail
 // when the timing layer already doomed the transmission (babble collision,
 // misalignment); the injector is then not consulted.
+//
+//perf:hotpath
 func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Macrotick, forced string) {
 	in := tx.Instance
 	m := in.Msg
@@ -674,9 +729,9 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 		e.col.RawBusy(tx.Duration)
 	}
 
-	inj := e.opts.InjectorA
+	inj, tv := e.injA, e.tvA
 	if ch == frame.ChannelB {
-		inj = e.opts.InjectorB
+		inj, tv = e.injB, e.tvB
 	}
 	var ok bool
 	detail := ""
@@ -693,9 +748,9 @@ func (e *engine) transmit(tx *Transmission, ch frame.Channel, start timebase.Mac
 		ok = false
 		detail = forced
 	default:
-		bits := frame.WireBits(m.Bytes())
+		bits := e.env.WireBits(m)
 		corrupted := false
-		if tv, timed := inj.(fault.TimeVarying); timed {
+		if tv != nil {
 			corrupted = tv.CorruptsAt(bits, start)
 		} else {
 			corrupted = inj.Corrupts(bits)
@@ -764,8 +819,10 @@ func (e *engine) dropInstance(in *node.Instance, now timebase.Macrotick) {
 	e.sched.InstanceDropped(in, now)
 }
 
+//
+//perf:hotpath
 func (e *engine) record(ev trace.Event) {
-	e.rec.Record(ev)
+	e.sink.Record(ev)
 }
 
 func kindOf(m *signal.Message) metrics.SegmentKind {

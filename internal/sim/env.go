@@ -55,10 +55,12 @@ type Env struct {
 	// Cluster is the validated topology; schedulers consult it before
 	// placing a frame on a channel the node may not be attached to.
 	Cluster topology.Cluster
-	// Trace is the run's recorder; schedulers may record policy events
-	// (replans, failovers, shedding).  May be nil — trace.Recorder methods
-	// are nil-safe.
-	Trace *trace.Recorder
+	// Trace is the run's event sink; schedulers may record policy events
+	// (replans, failovers, shedding).  The engine always installs a
+	// non-nil sink (NullSink when tracing is off), but hand-built Envs
+	// may leave it nil — record through Env.Record, which tolerates
+	// that.
+	Trace trace.Sink
 	// Gauges exposes the metrics collector's adaptive-controller gauges
 	// for schedulers to update.  Nil-safe via the gauge methods.
 	Gauges *metrics.AdaptiveGauges
@@ -70,6 +72,144 @@ type Env struct {
 
 	// ecuOrder caches the ECUs in ascending node-ID order (OrderedECUs).
 	ecuOrder []*node.ECU
+
+	// Compiled dispatch tables, built once by the engine (compile) so the
+	// per-slot walk indexes slices instead of hashing map keys.  All are
+	// nil on hand-built Envs, where the accessors fall back to the maps.
+	// msgByID guards the per-message caches: a fast path is taken only
+	// when the *signal.Message pointer matches the one the table was
+	// compiled from, so foreign Message values can never read stale
+	// timing.
+	msgByID       []*signal.Message
+	staticBySlot  []*signal.Message
+	dynamicByID   []*signal.Message
+	ecuByID       []*node.ECU
+	durByID       []timebase.Macrotick
+	minislotsByID []int
+	wireBitsByID  []int
+	attachedA     []bool
+	attachedB     []bool
+}
+
+// Record forwards an event to the trace sink, tolerating hand-built
+// environments that never installed one.
+func (e *Env) Record(ev trace.Event) {
+	if e.Trace != nil {
+		e.Trace.Record(ev)
+	}
+}
+
+// compile precomputes the slot→message, node→ECU and per-message timing
+// tables the cycle loop indexes instead of doing map lookups per slot.
+// Called once by the engine after the maps are fully populated; the
+// public maps stay authoritative for hand-built environments and tests.
+func (e *Env) compile() {
+	maxID, maxNode := e.Cfg.StaticSlots, 0
+	for i := range e.Set.Messages {
+		if id := e.Set.Messages[i].ID; id > maxID {
+			maxID = id
+		}
+	}
+	for _, n := range e.Cluster.Nodes {
+		if n.ID > maxNode {
+			maxNode = n.ID
+		}
+	}
+	e.msgByID = make([]*signal.Message, maxID+1)
+	e.staticBySlot = make([]*signal.Message, e.Cfg.StaticSlots+1)
+	e.dynamicByID = make([]*signal.Message, maxID+1)
+	e.durByID = make([]timebase.Macrotick, maxID+1)
+	e.minislotsByID = make([]int, maxID+1)
+	e.wireBitsByID = make([]int, maxID+1)
+	// The engine populated StaticMsgs/DynamicMsgs with pointers into
+	// Set.Messages, so walking the slice visits the same message values
+	// the maps hold — in deterministic order.
+	for i := range e.Set.Messages {
+		m := &e.Set.Messages[i]
+		switch m.Kind {
+		case signal.Periodic:
+			if m.ID >= 0 && m.ID < len(e.staticBySlot) {
+				e.staticBySlot[m.ID] = m
+			}
+		case signal.Aperiodic:
+			if m.ID >= 0 && m.ID < len(e.dynamicByID) {
+				e.dynamicByID[m.ID] = m
+			}
+		}
+		e.compileMsg(m)
+	}
+	e.ecuByID = make([]*node.ECU, maxNode+1)
+	e.attachedA = make([]bool, maxNode+1)
+	e.attachedB = make([]bool, maxNode+1)
+	for _, n := range e.Cluster.Nodes {
+		if n.ID < 0 || n.ID >= len(e.ecuByID) {
+			continue
+		}
+		e.ecuByID[n.ID] = e.ECUs[n.ID]
+		e.attachedA[n.ID] = n.Attached(frame.ChannelA)
+		e.attachedB[n.ID] = n.Attached(frame.ChannelB)
+	}
+	// Precompute the ECU iteration order too, so the first cycle does
+	// not pay the lazy sort.
+	e.OrderedECUs()
+}
+
+func (e *Env) compileMsg(m *signal.Message) {
+	if m == nil || m.ID < 0 || m.ID >= len(e.msgByID) {
+		return
+	}
+	e.msgByID[m.ID] = m
+	d := frame.Duration(m.Bytes(), e.BitRate, e.Cfg)
+	e.durByID[m.ID] = d
+	e.minislotsByID[m.ID] = e.Cfg.MinislotsForFrame(d)
+	e.wireBitsByID[m.ID] = frame.WireBits(m.Bytes())
+}
+
+// compiledFor reports whether the per-message caches were built from
+// exactly this message value.
+func (e *Env) compiledFor(m *signal.Message) bool {
+	return m != nil && m.ID >= 0 && m.ID < len(e.msgByID) && e.msgByID[m.ID] == m
+}
+
+// StaticMsg returns the message owning static slot `slot`, or nil.
+func (e *Env) StaticMsg(slot int) *signal.Message {
+	if e.staticBySlot != nil {
+		if slot >= 0 && slot < len(e.staticBySlot) {
+			return e.staticBySlot[slot]
+		}
+		return nil
+	}
+	return e.StaticMsgs[slot]
+}
+
+// DynamicMsg returns the dynamic message with frame ID `id`, or nil.
+func (e *Env) DynamicMsg(id int) *signal.Message {
+	if e.dynamicByID != nil {
+		if id >= 0 && id < len(e.dynamicByID) {
+			return e.dynamicByID[id]
+		}
+		return nil
+	}
+	return e.DynamicMsgs[id]
+}
+
+// ECU returns the ECU of the node, or nil.
+func (e *Env) ECU(nodeID int) *node.ECU {
+	if e.ecuByID != nil {
+		if nodeID >= 0 && nodeID < len(e.ecuByID) {
+			return e.ecuByID[nodeID]
+		}
+		return nil
+	}
+	return e.ECUs[nodeID]
+}
+
+// WireBits returns the wire image size of the message's frame in bits.
+func (e *Env) WireBits(m *signal.Message) int {
+	if e.compiledFor(m) {
+		return e.wireBitsByID[m.ID]
+	}
+	return frame.WireBits(m.Bytes())
 }
 
 // OrderedECUs returns the ECUs in ascending node-ID order.  Ranging over
@@ -95,12 +235,24 @@ func (e *Env) OrderedECUs() []*node.ECU {
 
 // Attached reports whether the node is attached to the channel.
 func (e *Env) Attached(nodeID int, ch frame.Channel) bool {
+	if e.attachedA != nil && nodeID >= 0 && nodeID < len(e.attachedA) {
+		switch ch {
+		case frame.ChannelA:
+			return e.attachedA[nodeID]
+		case frame.ChannelB:
+			return e.attachedB[nodeID]
+		}
+		return false
+	}
 	n, ok := e.Cluster.Node(nodeID)
 	return ok && n.Attached(ch)
 }
 
 // FrameDuration returns the wire time of a message's frame in macroticks.
 func (e *Env) FrameDuration(m *signal.Message) timebase.Macrotick {
+	if e.compiledFor(m) {
+		return e.durByID[m.ID]
+	}
 	return frame.Duration(m.Bytes(), e.BitRate, e.Cfg)
 }
 
@@ -112,17 +264,20 @@ func (e *Env) FitsStaticSlot(m *signal.Message) bool {
 // MinislotsFor returns the number of minislots a dynamic transmission of the
 // message consumes.
 func (e *Env) MinislotsFor(m *signal.Message) int {
+	if e.compiledFor(m) {
+		return e.minislotsByID[m.ID]
+	}
 	return e.Cfg.MinislotsForFrame(e.FrameDuration(m))
 }
 
 // OwnerOfStaticSlot returns the ECU owning static slot `slot` (= frame ID),
 // or nil when the slot is unassigned.
 func (e *Env) OwnerOfStaticSlot(slot int) *node.ECU {
-	m, ok := e.StaticMsgs[slot]
-	if !ok {
+	m := e.StaticMsg(slot)
+	if m == nil {
 		return nil
 	}
-	return e.ECUs[m.Node]
+	return e.ECU(m.Node)
 }
 
 // Transmission is one frame a scheduler puts on a channel.
@@ -156,11 +311,9 @@ func (tx *Transmission) validate(env *Env) error {
 	if tx.Duration <= 0 {
 		return fmt.Errorf("%w: duration %d", ErrBadTransmission, tx.Duration)
 	}
-	ecu, ok := env.ECUs[tx.Instance.Msg.Node]
-	if !ok {
+	if env.ECU(tx.Instance.Msg.Node) == nil {
 		return fmt.Errorf("%w: unknown node %d", ErrBadTransmission, tx.Instance.Msg.Node)
 	}
-	_ = ecu
 	return nil
 }
 

@@ -25,6 +25,29 @@ type releaser struct {
 
 	// streams holds one release stream per message.
 	streams []*stream
+
+	// arena block-allocates instances so a horizon's worth of releases
+	// costs a handful of mallocs instead of one per instance.
+	arena instanceArena
+}
+
+// arenaBlock is the instance allocation granularity of the releaser.
+const arenaBlock = 256
+
+// instanceArena hands out instances from append-only blocks.  Unlike a
+// sync.Pool, memory is never recycled within a run — every instance
+// keeps its identity until the run ends — so reuse cannot perturb the
+// deterministic event order (DESIGN.md §8).
+type instanceArena struct {
+	cur []node.Instance
+}
+
+func (a *instanceArena) new() *node.Instance {
+	if len(a.cur) == cap(a.cur) {
+		a.cur = make([]node.Instance, 0, arenaBlock)
+	}
+	a.cur = a.cur[:len(a.cur)+1]
+	return &a.cur[len(a.cur)-1]
 }
 
 // stream tracks the next release of one message.
@@ -123,13 +146,14 @@ func (r *releaser) interArrival(s *stream) timebase.Macrotick {
 }
 
 func (r *releaser) release(s *stream, rel, deadline timebase.Macrotick) {
-	in := &node.Instance{
+	in := r.arena.new()
+	*in = node.Instance{
 		Msg:      s.msg,
 		Seq:      s.seq,
 		Release:  rel,
 		Deadline: deadline,
 	}
-	ecu := r.env.ECUs[s.msg.Node]
+	ecu := r.env.ECU(s.msg.Node)
 	var err error
 	if s.msg.Kind == signal.Periodic {
 		err = ecu.EnqueueStatic(in)
@@ -148,10 +172,8 @@ func (r *releaser) release(s *stream, rel, deadline timebase.Macrotick) {
 		// here is unreachable, but never silently lose an instance.
 		panic("sim: release failed: " + err.Error())
 	}
-	if r.opts.Recorder != nil {
-		r.opts.Recorder.Record(trace.Event{
-			Time: rel, Kind: trace.EventRelease,
-			FrameID: s.msg.ID, Seq: in.Seq, Node: s.msg.Node,
-		})
-	}
+	r.env.Record(trace.Event{
+		Time: rel, Kind: trace.EventRelease,
+		FrameID: s.msg.ID, Seq: in.Seq, Node: s.msg.Node,
+	})
 }

@@ -105,7 +105,13 @@ func NewAnalysis(s *task.Set) (*Analysis, error) {
 	}
 	for i := range s.Tasks {
 		level := i + 1
-		var lt levelTable
+		// len(ivals) bounds the number of idle runs at any level, so one
+		// exact-capacity allocation per slice replaces repeated growth.
+		lt := levelTable{
+			starts: make([]timebase.Macrotick, 0, len(ivals)),
+			ends:   make([]timebase.Macrotick, 0, len(ivals)),
+			cum:    make([]timebase.Macrotick, 0, len(ivals)),
+		}
 		var cum timebase.Macrotick
 		for _, iv := range ivals {
 			if !idleForLevel(iv.taskIdx, level) {
@@ -181,7 +187,7 @@ func simulate(s *task.Set, window timebase.Macrotick) ([]interval, error) {
 		return nil
 	}
 
-	var ivals []interval
+	ivals := make([]interval, 0, 1024)
 	appendIval := func(start, end timebase.Macrotick, taskIdx int) {
 		if end <= start {
 			return

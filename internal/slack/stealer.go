@@ -53,6 +53,12 @@ type Stealer struct {
 	// guaranteed holds admitted-but-unfinished hard aperiodic jobs in
 	// EDF order.
 	guaranteed []*guaranteedJob
+	// cacheA and cacheCompleted memoize A_i(d_i) per level keyed by the
+	// completed-job count: LevelIdle(level, d) is pure in (level, d) and
+	// d only moves when a job of the level completes, so slackAt's inner
+	// loop reduces to subtractions between completions.
+	cacheA         []timebase.Macrotick
+	cacheCompleted []int64
 }
 
 // guaranteedJob tracks the remaining work of an admitted hard aperiodic.
@@ -64,11 +70,17 @@ type guaranteedJob struct {
 // NewStealer returns a runtime stealer over the analysis, starting at time
 // zero.
 func NewStealer(a *Analysis) *Stealer {
-	return &Stealer{
+	st := &Stealer{
 		a:        a,
 		inactive: make([]timebase.Macrotick, a.Levels()),
 		executed: make([]timebase.Macrotick, a.Levels()),
 	}
+	st.cacheA = make([]timebase.Macrotick, a.Levels())
+	st.cacheCompleted = make([]int64, a.Levels())
+	for i := range st.cacheCompleted {
+		st.cacheCompleted[i] = -1
+	}
+	return st
 }
 
 // Now returns the stealer's current time.
@@ -211,10 +223,16 @@ func (st *Stealer) slackAt(c timebase.Macrotick, inact, executed []timebase.Macr
 	for level := 1; level <= st.a.Levels(); level++ {
 		tk := st.a.set.Tasks[level-1]
 		completed := int64(executed[level-1] / tk.C)
-		d := tk.AbsDeadline(completed + 1)
-		a, err := st.a.LevelIdle(level, d)
-		if err != nil {
-			return 0
+		a := st.cacheA[level-1]
+		if st.cacheCompleted[level-1] != completed {
+			d := tk.AbsDeadline(completed + 1)
+			var err error
+			a, err = st.a.LevelIdle(level, d)
+			if err != nil {
+				return 0
+			}
+			st.cacheA[level-1] = a
+			st.cacheCompleted[level-1] = completed
 		}
 		s := a - c - inact[level-1]
 		if level == 1 || s < min {

@@ -1,8 +1,11 @@
 // Package trace records bus events during a simulation — the software
-// equivalent of the bus analysis tool attached to the paper's testbed.  A
-// Recorder collects per-frame events (release, transmission start/end,
-// fault, retransmission, drop) that the metrics and experiment layers
-// consume, and can export them as JSON for offline inspection.
+// equivalent of the bus analysis tool attached to the paper's testbed.
+// Events flow by value into a Sink; the FullRecorder sink collects
+// per-frame events (release, transmission start/end, fault,
+// retransmission, drop) that the metrics and experiment layers consume
+// and can export them as JSON for offline inspection, while the
+// CountingSink and NullSink trade the event log away for a
+// zero-allocation hot path.
 package trace
 
 import (
@@ -60,6 +63,10 @@ const (
 	// (Detail carries the new state, e.g. "normal-passive").
 	EventPOCState
 )
+
+// kindCount sizes the per-kind counter arrays used by FullRecorder and
+// CountingSink: kinds are 1-based, so the array spans [0, EventPOCState].
+const kindCount = int(EventPOCState) + 1
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -119,65 +126,77 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Recorder accumulates events.  The zero value discards everything; use New
-// to record.  Recorder is safe for concurrent use.
-type Recorder struct {
-	mu      sync.Mutex
-	enabled bool
-	events  []Event
-	counts  map[EventKind]int64
+// Sink receives simulation events by value.  Implementations are NOT
+// required to be safe for concurrent use: the engine is single-threaded
+// per run, and the parallel runner gives each replication its own sink.
+// Wrap a sink in NewSync when several goroutines genuinely share one.
+type Sink interface {
+	Record(Event)
 }
+
+// FullRecorder retains every event in record order — the sink the JSON
+// exporter, determinism suite, and event-level tests use.  The zero
+// value discards everything; use New to record.  Unlike the pre-sink
+// Recorder, FullRecorder takes no lock: single-threaded engine runs pay
+// nothing, and concurrent writers must wrap it in NewSync.
+type FullRecorder struct {
+	recording bool
+	events    []Event
+	counts    [kindCount]int64
+	// extra counts kinds outside [0, kindCount) — only foreign or
+	// future kinds land here, so the map is allocated lazily.
+	extra map[EventKind]int64
+}
+
+// Recorder is the historical name for the event-retaining sink.
+type Recorder = FullRecorder
 
 // New returns an enabled recorder.
-func New() *Recorder {
-	return &Recorder{enabled: true, counts: make(map[EventKind]int64)}
+func New() *FullRecorder {
+	return &FullRecorder{recording: true}
 }
 
-// Record appends an event.  A nil or zero-value recorder only counts kinds
-// if initialized; on the zero value it is a no-op, so call sites need no nil
-// checks.
-func (r *Recorder) Record(e Event) {
-	if r == nil {
+// Record appends an event.  On a nil or zero-value recorder it is a
+// no-op, so call sites need no nil checks.
+func (r *FullRecorder) Record(e Event) {
+	if r == nil || !r.recording {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.counts == nil {
-		return
+	if k := int(e.Kind); k >= 0 && k < kindCount {
+		r.counts[k]++
+	} else {
+		if r.extra == nil {
+			r.extra = make(map[EventKind]int64)
+		}
+		r.extra[e.Kind]++
 	}
-	r.counts[e.Kind]++
-	if r.enabled {
-		r.events = append(r.events, e)
-	}
+	r.events = append(r.events, e)
 }
 
 // Count returns how many events of the kind were recorded.
-func (r *Recorder) Count(k EventKind) int64 {
+func (r *FullRecorder) Count(k EventKind) int64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counts[k]
+	if i := int(k); i >= 0 && i < kindCount {
+		return r.counts[i]
+	}
+	return r.extra[k]
 }
 
 // Events returns a copy of all recorded events in record order.
-func (r *Recorder) Events() []Event {
+func (r *FullRecorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return append([]Event(nil), r.events...)
 }
 
 // Filter returns the recorded events matching the predicate.
-func (r *Recorder) Filter(keep func(Event) bool) []Event {
+func (r *FullRecorder) Filter(keep func(Event) bool) []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Event
 	for _, e := range r.events {
 		if keep(e) {
@@ -188,21 +207,93 @@ func (r *Recorder) Filter(keep func(Event) bool) []Event {
 }
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int {
+func (r *FullRecorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return len(r.events)
 }
 
 // WriteJSON streams the events as a JSON array.
-func (r *Recorder) WriteJSON(w io.Writer) error {
+func (r *FullRecorder) WriteJSON(w io.Writer) error {
 	events := r.Events()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(events)
+}
+
+// CountingSink tallies events per kind without retaining them — the
+// zero-allocation sink for throughput runs, where the experiment layer
+// only consumes aggregate counts.  Record never allocates; kinds
+// outside the known range contribute to Total only.  The zero value is
+// ready to use.
+type CountingSink struct {
+	counts [kindCount]int64
+	total  int64
+}
+
+// Record tallies the event.  It never allocates and never blocks.
+//
+//perf:hotpath
+func (s *CountingSink) Record(e Event) {
+	if s == nil {
+		return
+	}
+	s.total++
+	if k := int(e.Kind); k >= 0 && k < kindCount {
+		s.counts[k]++
+	}
+}
+
+// Count returns how many events of the kind were recorded.
+func (s *CountingSink) Count(k EventKind) int64 {
+	if s == nil {
+		return 0
+	}
+	if i := int(k); i >= 0 && i < kindCount {
+		return s.counts[i]
+	}
+	return 0
+}
+
+// Total returns how many events were recorded across all kinds.
+func (s *CountingSink) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// NullSink discards every event — the pure-throughput benchmarking sink.
+type NullSink struct{}
+
+// Record discards the event.
+//
+//perf:hotpath
+func (NullSink) Record(Event) {}
+
+// SyncSink serializes Record calls onto an underlying sink with a
+// mutex.  It is the only sink that owns a lock: single-threaded runs
+// use the bare sinks, and only genuinely shared sinks pay for
+// synchronization.
+type SyncSink struct {
+	mu  sync.Mutex
+	dst Sink
+}
+
+// NewSync wraps dst so that concurrent Record calls are safe.
+func NewSync(dst Sink) *SyncSink {
+	return &SyncSink{dst: dst}
+}
+
+// Record forwards the event to the wrapped sink under the lock.
+func (s *SyncSink) Record(e Event) {
+	if s == nil || s.dst == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dst.Record(e)
+	s.mu.Unlock()
 }
 
 // Summary aggregates a recorder's events for quick inspection — the bus
@@ -219,7 +310,7 @@ type Summary struct {
 }
 
 // Summarize builds a Summary from the recorded events.
-func (r *Recorder) Summarize() Summary {
+func (r *FullRecorder) Summarize() Summary {
 	s := Summary{
 		ByKind:        make(map[EventKind]int64),
 		Frames:        make(map[int]int64),

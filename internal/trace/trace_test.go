@@ -82,21 +82,81 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// TestConcurrentRecord covers the shared-sink path: FullRecorder itself
+// is lock-free, so concurrent writers must go through a SyncSink.
 func TestConcurrentRecord(t *testing.T) {
 	r := New()
+	sink := NewSync(r)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				r.Record(Event{Kind: EventTxEnd})
+				sink.Record(Event{Kind: EventTxEnd})
 			}
 		}()
 	}
 	wg.Wait()
 	if r.Count(EventTxEnd) != 800 {
 		t.Errorf("Count = %d, want 800", r.Count(EventTxEnd))
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var s CountingSink
+	s.Record(Event{Kind: EventTxStart})
+	s.Record(Event{Kind: EventTxStart})
+	s.Record(Event{Kind: EventDrop})
+	s.Record(Event{Kind: EventKind(99)}) // out of range: total only
+	if s.Count(EventTxStart) != 2 || s.Count(EventDrop) != 1 {
+		t.Errorf("counts: tx-start=%d drop=%d", s.Count(EventTxStart), s.Count(EventDrop))
+	}
+	if s.Count(EventKind(99)) != 0 {
+		t.Error("out-of-range kind should not be countable per kind")
+	}
+	if s.Total() != 4 {
+		t.Errorf("Total = %d, want 4", s.Total())
+	}
+
+	var nilSink *CountingSink
+	nilSink.Record(Event{Kind: EventDrop}) // must not panic
+	if nilSink.Count(EventDrop) != 0 || nilSink.Total() != 0 {
+		t.Error("nil CountingSink not inert")
+	}
+}
+
+func TestCountingSinkRecordDoesNotAllocate(t *testing.T) {
+	var s CountingSink
+	ev := Event{Kind: EventTxEnd, FrameID: 1, Node: 2}
+	if n := testing.AllocsPerRun(100, func() { s.Record(ev) }); n != 0 {
+		t.Errorf("CountingSink.Record allocates %v times per call, want 0", n)
+	}
+}
+
+func TestNullSink(t *testing.T) {
+	var s NullSink
+	s.Record(Event{Kind: EventDrop}) // must not panic; discards silently
+	if n := testing.AllocsPerRun(100, func() { s.Record(Event{Kind: EventTxEnd}) }); n != 0 {
+		t.Errorf("NullSink.Record allocates %v times per call, want 0", n)
+	}
+}
+
+func TestSyncSinkNilSafety(t *testing.T) {
+	var nilSync *SyncSink
+	nilSync.Record(Event{Kind: EventDrop}) // must not panic
+	NewSync(nil).Record(Event{Kind: EventDrop})
+}
+
+func TestFullRecorderOutOfRangeKind(t *testing.T) {
+	r := New()
+	r.Record(Event{Kind: EventKind(99)})
+	r.Record(Event{Kind: EventKind(99)})
+	if r.Count(EventKind(99)) != 2 {
+		t.Errorf("Count(99) = %d, want 2", r.Count(EventKind(99)))
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
 	}
 }
 
