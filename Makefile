@@ -48,11 +48,14 @@ bench: build
 # Run a fresh quick sweep into CHECKDIR and gate it against the
 # committed BENCHDIR baseline: cmd/benchguard fails on a >25% serial
 # wall-clock regression (or any serial/parallel table divergence) and
-# warns on smaller slowdowns.
+# warns on smaller slowdowns.  Every checked sweep is also appended to
+# the TRENDFILE history so throughput is tracked across PRs, not just
+# thresholded against the last baseline.
 CHECKDIR ?= bench-out
+TRENDFILE ?= results/BENCH_TREND.jsonl
 benchcheck: build
 	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(CHECKDIR)
-	$(GO) run ./cmd/benchguard -baseline $(BENCHDIR) -candidate $(CHECKDIR)
+	$(GO) run ./cmd/benchguard -baseline $(BENCHDIR) -candidate $(CHECKDIR) -trend $(TRENDFILE)
 
 # Profile the hot path two ways into PROFDIR: CPU/alloc profiles of a
 # full experiment sweep via cmd/coefficientsim, plus the engine

@@ -18,6 +18,11 @@
 // only on one side are reported but not fatal, so adding or retiring an
 // experiment does not break the gate.
 //
+// With -trend, every run (passing or failing) is also appended as one
+// JSON line to the given trend file (`make benchcheck` uses
+// results/BENCH_TREND.jsonl), so throughput is tracked across PRs
+// instead of only being thresholded against the previous baseline.
+//
 // Exit status: 0 when no experiment regressed, 1 on regression or
 // determinism failure, 2 on a usage or read error.
 package main
@@ -31,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -56,6 +62,7 @@ func run(args []string, out, errOut io.Writer) int {
 		candidate = fs.String("candidate", "", "directory with the fresh BENCH_*.json sweep to check")
 		threshold = fs.Float64("threshold", 0.25, "fractional serial-time slowdown that fails the gate")
 		minBase   = fs.Float64("min", 0.05, "baseline serial seconds below which slowdowns only warn (scheduling noise dominates shorter runs)")
+		trend     = fs.String("trend", "", "append this run's candidate sweep as one JSON line to the given trend file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,10 +99,59 @@ func run(args []string, out, errOut io.Writer) int {
 	for _, line := range report.lines {
 		fmt.Fprintln(out, line)
 	}
+	if *trend != "" {
+		// Failed runs are recorded too: a regression that was later fixed
+		// is exactly the kind of history the trend exists to keep.
+		if err := appendTrend(*trend, cand, !report.failed); err != nil {
+			fmt.Fprintln(errOut, "benchguard:", err)
+			return 2
+		}
+		fmt.Fprintf(out, "trend: appended %d experiments to %s\n", len(cand), *trend)
+	}
 	if report.failed {
 		return 1
 	}
 	return 0
+}
+
+// trendEntry is one line of the JSONL trend file: a timestamped snapshot
+// of a whole candidate sweep plus the gate's verdict.
+type trendEntry struct {
+	Time        string               `json:"time"`
+	Passed      bool                 `json:"passed"`
+	Experiments map[string]benchFile `json:"experiments"`
+}
+
+// appendTrend appends the sweep to the trend file, creating it (and its
+// directory) on first use.  encoding/json writes map keys sorted, so the
+// line layout is stable across runs.
+func appendTrend(path string, cand map[string]benchFile, passed bool) error {
+	data, err := json.Marshal(trendEntry{
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		Passed:      passed,
+		Experiments: cand,
+	})
+	if err != nil {
+		return fmt.Errorf("encode trend entry: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("append trend %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("close trend %s: %w", path, cerr)
+	}
+	return nil
 }
 
 // comparison accumulates the rendered verdict lines and the overall

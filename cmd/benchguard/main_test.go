@@ -137,6 +137,50 @@ func TestMissingExperimentsAreSkippedNotFatal(t *testing.T) {
 	}
 }
 
+func TestTrendFileAccumulatesRuns(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeBench(t, base, "fig1", 1.00, true)
+	writeBench(t, cand, "fig1", 0.90, true)
+	trend := filepath.Join(t.TempDir(), "deep", "BENCH_TREND.jsonl")
+
+	// First run passes; second run regresses but is still recorded.
+	code, out := guard(t, base, cand, "-trend", trend)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "trend: appended 1 experiments") {
+		t.Errorf("no trend confirmation:\n%s", out)
+	}
+	writeBench(t, cand, "fig1", 1.50, true)
+	if code, out = guard(t, base, cand, "-trend", trend); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+
+	data, err := os.ReadFile(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trend has %d lines, want 2:\n%s", len(lines), data)
+	}
+	for i, want := range []struct {
+		passed bool
+		serial float64
+	}{{true, 0.90}, {false, 1.50}} {
+		var entry trendEntry
+		if err := json.Unmarshal([]byte(lines[i]), &entry); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if entry.Passed != want.passed || entry.Time == "" {
+			t.Errorf("line %d: passed %v time %q, want passed %v", i, entry.Passed, entry.Time, want.passed)
+		}
+		if got := entry.Experiments["fig1"].SerialSeconds; got != want.serial {
+			t.Errorf("line %d: serial %v, want %v", i, got, want.serial)
+		}
+	}
+}
+
 func TestEmptyDirsAreUsageErrors(t *testing.T) {
 	base, cand := t.TempDir(), t.TempDir()
 	if code, _ := guard(t, base, cand); code != 2 {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootDaemon runs the daemon on an ephemeral port and returns its base
+// URL, the cancel that triggers the drain path, and the channel carrying
+// run's final error.
+func bootDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, <-chan error, *strings.Builder) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	var log strings.Builder
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain", "30s"}, extraArgs...)
+	go func() {
+		errc <- run(ctx, args, &log, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, errc, &log
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon failed to boot: %v", err)
+		return "", nil, nil, nil
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(data, into); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonSmokeJobAndCleanDrain is the end-to-end lifecycle: boot,
+// serve a quick job over HTTP, then cancel the run context (the SIGTERM
+// path) and require a clean drain with the result flushed to disk.
+func TestDaemonSmokeJobAndCleanDrain(t *testing.T) {
+	resultDir := filepath.Join(t.TempDir(), "served")
+	base, cancel, errc, log := bootDaemon(t, "-results", resultDir)
+	defer cancel()
+
+	if code := getJSON(t, base+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"seed": 11, "quick": true, "parallel": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var accepted struct{ ID, Hash string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	var st struct{ State string }
+	for i := 0; i < 30000 && st.State != "done"; i++ {
+		if code := getJSON(t, base+"/jobs/"+accepted.ID, &st); code != http.StatusOK {
+			t.Fatalf("job status: %d", code)
+		}
+		if st.State != "done" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if st.State != "done" {
+		t.Fatalf("smoke job never completed; state %q", st.State)
+	}
+	var health struct {
+		Done     int  `json:"done"`
+		Draining bool `json:"draining"`
+	}
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK ||
+		health.Done != 1 || health.Draining {
+		t.Fatalf("healthz: code %d doc %+v", code, health)
+	}
+
+	// The SIGTERM path: cancel the run context, expect a clean exit.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nlog:\n%s", err, log.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not drain within a minute")
+	}
+	if !strings.Contains(log.String(), "drained cleanly") {
+		t.Errorf("log missing clean-drain line:\n%s", log.String())
+	}
+	if _, err := os.ReadFile(filepath.Join(resultDir, accepted.Hash+".json")); err != nil {
+		t.Errorf("result not flushed on drain: %v", err)
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestDaemonListenErrorSurfaces(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.0.0.1:0"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

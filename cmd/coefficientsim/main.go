@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -35,7 +37,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// A SIGINT cancels the sweep at the next cell boundary instead of
+	// killing the process mid-write: the experiments observe ctx, the
+	// run returns through the normal error path, and every output file
+	// is still flushed and closed by the writeFile helper.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "coefficientsim:", err)
 		os.Exit(1)
 	}
@@ -44,6 +52,7 @@ func main() {
 // options carries the parsed CLI configuration shared by the experiment
 // dispatch.
 type options struct {
+	ctx       context.Context
 	quick     bool
 	seed      uint64
 	scn       *scenario.Scenario
@@ -52,7 +61,7 @@ type options struct {
 	parallel  int
 }
 
-func run(args []string) (retErr error) {
+func run(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("coefficientsim", flag.ContinueOnError)
 	var (
 		exp      = fs.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig4a, fig5, ablation, synthesis, wcrt, degradation, timing or all")
@@ -86,6 +95,7 @@ func run(args []string) (retErr error) {
 	}()
 
 	opts := options{
+		ctx:       ctx,
 		quick:     *quick,
 		seed:      *seed,
 		drift:     *drift,
@@ -282,7 +292,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 	case "timing":
 		rows, err := experiment.TimingFault(experiment.TimingFaultOptions{
 			Seed: o.seed, Quick: o.quick, DriftPPM: o.drift, Guardians: o.guardians,
-			Parallel: o.parallel,
+			Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -290,7 +300,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.TimingFaultTable(rows), nil, nil
 	case "degradation":
 		rows, err := experiment.Degradation(experiment.DegradationOptions{
-			Scenario: o.scn, Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Scenario: o.scn, Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -298,7 +308,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.DegradationTable(rows), nil, nil
 	case "fig1":
 		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
-			Scenario: experiment.BER7(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Scenario: experiment.BER7(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -307,7 +317,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 			experiment.RunningTimeChart("Figure 1: running time (BER-7)", rows), nil
 	case "fig2":
 		rows, err := experiment.RunningTime(experiment.RunningTimeOptions{
-			Scenario: experiment.BER9(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Scenario: experiment.BER9(), Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -316,7 +326,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 			experiment.RunningTimeChart("Figure 2: running time (BER-9)", rows), nil
 	case "fig3":
 		rows, err := experiment.Utilization(experiment.UtilizationOptions{
-			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -324,7 +334,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.UtilizationTable(rows), experiment.UtilizationChart(rows), nil
 	case "fig4a":
 		rows, err := experiment.FrameLatency(experiment.FrameLatencyOptions{
-			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -332,7 +342,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.FrameLatencyTable(rows), experiment.FrameLatencyChart(rows), nil
 	case "fig4":
 		rows, err := experiment.Latency(experiment.LatencyOptions{
-			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -352,7 +362,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.SynthesisTable(rows), nil, nil
 	case "ablation":
 		rows, err := experiment.Ablations(experiment.AblationOptions{
-			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err
@@ -360,7 +370,7 @@ func runOne(name string, o options) (experiment.Table, *plot.Chart, error) {
 		return experiment.AblationTable(rows), nil, nil
 	case "fig5":
 		rows, err := experiment.MissRatio(experiment.MissOptions{
-			Seed: o.seed, Quick: o.quick, Parallel: o.parallel,
+			Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Ctx: o.ctx,
 		})
 		if err != nil {
 			return experiment.Table{}, nil, err

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -40,7 +42,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunFig5Quick(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-experiment", "fig5", "-quick", "-seed", "1"})
+		return run(context.Background(), []string{"-experiment", "fig5", "-quick", "-seed", "1"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -54,7 +56,7 @@ func TestRunFig5Quick(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-experiment", "fig3", "-quick", "-format", "csv"})
+		return run(context.Background(), []string{"-experiment", "fig3", "-quick", "-format", "csv"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -65,20 +67,20 @@ func TestRunCSVFormat(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-experiment", "fig9", "-quick"}); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "fig9", "-quick"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-format", "xml"}); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunJSONToFile(t *testing.T) {
 	path := t.TempDir() + "/out.json"
-	if err := run([]string{"-experiment", "fig3", "-quick", "-format", "json", "-output", path}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig3", "-quick", "-format", "json", "-output", path}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -93,7 +95,7 @@ func TestRunJSONToFile(t *testing.T) {
 func TestRunWritesSVG(t *testing.T) {
 	dir := t.TempDir()
 	_, err := capture(t, func() error {
-		return run([]string{"-experiment", "fig3,fig5", "-quick", "-svg", dir})
+		return run(context.Background(), []string{"-experiment", "fig3,fig5", "-quick", "-svg", dir})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -111,7 +113,7 @@ func TestRunWritesSVG(t *testing.T) {
 
 func TestRunSynthesisAndWCRT(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-experiment", "synthesis,wcrt,ablation", "-quick"})
+		return run(context.Background(), []string{"-experiment", "synthesis,wcrt,ablation", "-quick"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -125,12 +127,34 @@ func TestRunSynthesisAndWCRT(t *testing.T) {
 
 func TestRunFig1Fig4aQuick(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-experiment", "fig4a", "-quick"})
+		return run(context.Background(), []string{"-experiment", "fig4a", "-quick"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out, "Figure 4(a)") {
 		t.Errorf("output missing fig4a table")
+	}
+}
+
+// TestRunCancelledContextStillClosesOutput pins the SIGINT contract:
+// a cancelled context aborts the sweep through the normal error path,
+// so the -output file is still created, flushed and closed by the
+// writeFile helper rather than abandoned mid-write.
+func TestRunCancelledContextStillClosesOutput(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := t.TempDir() + "/partial.json"
+	err := run(ctx, []string{"-experiment", "fig3", "-quick", "-format", "json", "-output", path})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	// The file must exist and be a closed, readable artifact (possibly
+	// empty: the first experiment was cancelled before any row).
+	if _, serr := os.Stat(path); serr != nil {
+		t.Fatalf("output file not created/closed: %v", serr)
 	}
 }

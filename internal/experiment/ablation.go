@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,10 @@ type AblationOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 // Ablations runs the design-choice ablations of DESIGN.md §4 on the
@@ -72,7 +77,7 @@ func Ablations(opts AblationOptions) ([]AblationRow, error) {
 		{"reactive", func(o *core.Options) { o.Reactive = true }},
 	}
 
-	return runner.Map(opts.Parallel, len(variants), func(i int) (AblationRow, error) {
+	return runner.MapCtx(opts.Ctx, opts.Parallel, len(variants), func(i int) (AblationRow, error) {
 		v := variants[i]
 		o := base
 		v.mutate(&o)

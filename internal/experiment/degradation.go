@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,6 +74,10 @@ type DegradationOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *DegradationOptions) fill() {
@@ -124,7 +129,7 @@ func Degradation(opts DegradationOptions) ([]DegradationRow, error) {
 	// Each variant cell constructs its own scheduler; set, setup and the
 	// scenario script are shared read-only (every sim.Run compiles its own
 	// scenario runtime from the seed).
-	return runner.Map(opts.Parallel, len(variants), func(i int) (DegradationRow, error) {
+	return runner.MapCtx(opts.Ctx, opts.Parallel, len(variants), func(i int) (DegradationRow, error) {
 		v := variants[i]
 		res, err := sim.Run(sim.Options{
 			Config:   setup.Config,

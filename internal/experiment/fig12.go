@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,6 +49,10 @@ type RunningTimeOptions struct {
 	// serially.  The rows are identical for every value (see
 	// internal/runner's determinism contract).
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *RunningTimeOptions) fill() {
@@ -103,7 +108,7 @@ func runningTimeCells(opts RunningTimeOptions) []runningTimeCell {
 func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
 	opts.fill()
 	cells := runningTimeCells(opts)
-	return runner.FlatMap(opts.Parallel, len(cells), func(i int) ([]RunningTimeRow, error) {
+	return runner.FlatMapCtx(opts.Ctx, opts.Parallel, len(cells), func(i int) ([]RunningTimeRow, error) {
 		c := cells[i]
 		var (
 			set signal.Set

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -85,6 +86,10 @@ type UtilizationOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *UtilizationOptions) fill() {
@@ -109,7 +114,7 @@ func Utilization(opts UtilizationOptions) ([]UtilizationRow, error) {
 	// cell derives its own setup, scheduler and injectors.
 	const nSched = 2
 	cells := len(opts.Minislots) * nSched
-	return runner.Map(opts.Parallel, cells, func(i int) (UtilizationRow, error) {
+	return runner.MapCtx(opts.Ctx, opts.Parallel, cells, func(i int) (UtilizationRow, error) {
 		ms := opts.Minislots[i/nSched]
 		setup, err := LatencySetup(set, latencyStaticSlots, ms)
 		if err != nil {
@@ -188,6 +193,10 @@ type LatencyOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *LatencyOptions) fill() {
@@ -229,7 +238,7 @@ func Latency(opts LatencyOptions) ([]LatencyRow, error) {
 			}
 		}
 	}
-	return runner.FlatMap(opts.Parallel, len(cells), func(i int) ([]LatencyRow, error) {
+	return runner.FlatMapCtx(opts.Ctx, opts.Parallel, len(cells), func(i int) ([]LatencyRow, error) {
 		c := cells[i]
 		staticSet, staticSlots, err := latencyStaticSet(c.workload, opts)
 		if err != nil {
@@ -337,6 +346,10 @@ type MissOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *MissOptions) fill() {
@@ -385,7 +398,7 @@ func MissRatio(opts MissOptions) ([]MissRow, error) {
 			}
 		}
 	}
-	samples, err := runner.Map(opts.Parallel, len(cells), func(i int) (missSample, error) {
+	samples, err := runner.MapCtx(opts.Ctx, opts.Parallel, len(cells), func(i int) (missSample, error) {
 		c := cells[i]
 		setup, err := LatencySetup(set, latencyStaticSlots, c.ms)
 		if err != nil {

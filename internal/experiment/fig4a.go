@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -35,6 +36,10 @@ type FrameLatencyOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *FrameLatencyOptions) fill() {
@@ -68,7 +73,7 @@ func FrameLatency(opts FrameLatencyOptions) ([]FrameLatencyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner.FlatMap(opts.Parallel, 2, func(schedIdx int) ([]FrameLatencyRow, error) {
+	rows, err := runner.FlatMapCtx(opts.Ctx, opts.Parallel, 2, func(schedIdx int) ([]FrameLatencyRow, error) {
 		sched := schedulers(set, opts.Scenario)[schedIdx]
 		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,6 +61,10 @@ type TimingFaultOptions struct {
 	// Parallel is the sweep worker count: 0 uses every core, 1 runs
 	// serially.  The rows are identical for every value.
 	Parallel int
+	// Ctx optionally bounds the sweep: every cell checks it before
+	// starting, so a deadline or cancellation stops the run at the next
+	// cell boundary.  Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o *TimingFaultOptions) fill() error {
@@ -141,7 +146,7 @@ func TimingFault(opts TimingFaultOptions) ([]TimingFaultRow, error) {
 		}
 		kept = append(kept, v)
 	}
-	return runner.Map(opts.Parallel, len(kept), func(i int) (TimingFaultRow, error) {
+	return runner.MapCtx(opts.Ctx, opts.Parallel, len(kept), func(i int) (TimingFaultRow, error) {
 		v := kept[i]
 		sched := core.New(core.Options{BER: sc.BER, Goal: sc.Goal, Unit: PlanUnit})
 		res, err := sim.Run(sim.Options{

@@ -17,7 +17,8 @@
 //   - mapiter: flags `for range` over a map whose body is not provably
 //     order-independent, in determinism-critical packages.
 //   - wallclock: forbids time.Now/Since/Until and the global math/rand
-//     source in simulation and experiment code.
+//     source in simulation, experiment, and serving code (the daemon's
+//     retry jitter must be seeded, never wall-clock derived).
 //   - errdrop: flags discarded errors from Close, Flush, Write,
 //     WriteString, Encode and Sync on error-returning writers.
 //   - goroutineleak: flags goroutines launched without a completion
@@ -118,12 +119,14 @@ var criticalScope = map[string][]string{
 	"mapiter": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
+		"internal/serve",
 	},
 	"wallclock": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
+		"internal/serve",
 	},
-	"goroutineleak": {"internal/runner", "internal/sim"},
+	"goroutineleak": {"internal/runner", "internal/sim", "internal/serve"},
 	"errdrop":       nil, // whole repository
 	// hotpath only fires inside functions that opt in with a
 	// //perf:hotpath marker, so it is scoped to the packages the

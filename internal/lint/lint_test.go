@@ -87,13 +87,16 @@ func TestApplies(t *testing.T) {
 		{"mapiter", mod + "/internal/core", true},
 		{"mapiter", mod + "/internal/plot", false},
 		{"mapiter", mod + "/internal/metrics", false},
+		{"mapiter", mod + "/internal/serve", true},
 		{"wallclock", mod + "/internal/sim", true},
+		{"wallclock", mod + "/internal/serve", true},      // retry jitter must be seeded, not wall-clock
 		{"wallclock", mod + "/cmd/coefficientsim", false}, // bench timing is legitimate there
 		{"errdrop", mod + "/internal/plot", true},
 		{"errdrop", mod + "/cmd/coefficientsim", true},
 		{"errdrop", mod, true},
 		{"goroutineleak", mod + "/internal/runner", true},
 		{"goroutineleak", mod + "/internal/sim", true},
+		{"goroutineleak", mod + "/internal/serve", true},
 		{"goroutineleak", mod + "/internal/experiment", false},
 		{"hotpath", mod + "/internal/sim", true},
 		{"hotpath", mod + "/internal/core", true},

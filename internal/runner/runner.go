@@ -26,8 +26,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -70,6 +72,19 @@ func mix64(x uint64) uint64 {
 // would have stopped at) and the results slice is nil.  parallel == 1
 // or n <= 1 runs inline with no goroutines.
 func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(nil, parallel, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: every cell checks ctx
+// before it starts, so a deadline or a cancel stops the sweep at the
+// next cell boundary (a cell already inside fn runs to completion —
+// the engine's cycle loop is not context-aware, by design: checking a
+// context per cycle would put an atomic load on the zero-alloc hot
+// path).  A cancelled cell fails with a "cell N cancelled" error
+// wrapping ctx.Err(), and the usual lowest-index error policy applies,
+// so errors.Is(err, context.DeadlineExceeded) works on the result.
+// A nil ctx means no cancellation, exactly like Map.
+func MapCtx[T any](ctx context.Context, parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -80,7 +95,7 @@ func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := runCell(i, fn)
+			v, err := runCell(ctx, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -112,7 +127,7 @@ func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := runCell(i, fn)
+				v, err := runCell(ctx, i, fn)
 				if err != nil {
 					fail(i, err)
 					continue
@@ -130,10 +145,18 @@ func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // runCell invokes one cell, converting a panic into an error so one bad
 // cell fails its sweep instead of crashing every worker's sibling cells.
-func runCell[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+// The recovered error carries the panic value and the panicking
+// goroutine's stack trace: without the stack, a panic deep inside a
+// 10-second sweep surfaces as an unlocatable one-liner.
+func runCell[T any](ctx context.Context, i int, fn func(i int) (T, error)) (v T, err error) {
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return v, fmt.Errorf("runner: cell %d cancelled: %w", i, cerr)
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: cell %d panicked: %v", i, r)
+			err = fmt.Errorf("runner: cell %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
 	return fn(i)
@@ -144,7 +167,12 @@ func runCell[T any](i int, fn func(i int) (T, error)) (v T, err error) {
 // one cell may contribute several table rows, and the concatenation
 // must match the serial nesting exactly.
 func FlatMap[T any](parallel, n int, fn func(i int) ([]T, error)) ([]T, error) {
-	chunks, err := Map(parallel, n, fn)
+	return FlatMapCtx(nil, parallel, n, fn)
+}
+
+// FlatMapCtx is FlatMap with the MapCtx cancellation contract.
+func FlatMapCtx[T any](ctx context.Context, parallel, n int, fn func(i int) ([]T, error)) ([]T, error) {
+	chunks, err := MapCtx(ctx, parallel, n, fn)
 	if err != nil {
 		return nil, err
 	}

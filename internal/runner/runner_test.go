@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -161,5 +163,94 @@ func TestMapHammer(t *testing.T) {
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("parallel %d: RNG streams depend on execution order", par)
 		}
+	}
+}
+
+// TestPanicErrorCarriesStack pins the panic-surfacing contract: the
+// recovered error must carry both the panic value and the panicking
+// goroutine's stack trace, so a crash deep inside a long sweep is
+// locatable from the error alone.
+func TestPanicErrorCarriesStack(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		_, err := Map(par, 4, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("parallel %d: panicking cell returned no error", par)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "cell 2 panicked: kaboom") {
+			t.Errorf("parallel %d: error %q missing panic value", par, msg)
+		}
+		// The stack must name this test function's frame — the panic
+		// site — not just the recover machinery.
+		if !strings.Contains(msg, "TestPanicErrorCarriesStack") {
+			t.Errorf("parallel %d: error missing panic stack trace:\n%s", par, msg)
+		}
+	}
+}
+
+// TestMapCtxCancelsBetweenCells pins the cancellation contract: a done
+// context fails the sweep with an error wrapping ctx.Err(), at every
+// parallelism degree, and a nil context means no cancellation.
+func TestMapCtxCancelsBetweenCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 8} {
+		var ran atomic.Int64
+		_, err := MapCtx(ctx, par, 64, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("parallel %d: cancelled sweep reported success", par)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel %d: err = %v, want context.Canceled in chain", par, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("parallel %d: %d cells ran after cancellation", par, n)
+		}
+	}
+	if _, err := MapCtx(nil, 1, 4, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+// TestMapCtxDeadlineMidSweep cancels partway: cells that started before
+// the cancel complete normally, later ones fail, and the reported error
+// is the cancellation (deadline) error.
+func TestMapCtxDeadlineMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 1, 10, func(i int) (int, error) {
+		if i == 3 {
+			cancel()
+		}
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 4 {
+		t.Errorf("ran %d cells, want 4 (cells 0-3 then stop)", n)
+	}
+}
+
+// TestFlatMapCtxPropagates covers the FlatMap variant of the same
+// contract.
+func TestFlatMapCtxPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FlatMapCtx(ctx, 4, 8, cellRows); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	rows, err := FlatMapCtx(nil, 4, 8, cellRows)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("nil ctx FlatMapCtx: rows %d, err %v", len(rows), err)
 	}
 }

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// quarantine tracks worker panics per scenario hash and poisons a hash
+// after `limit` of them: further submissions are refused and the job
+// that crossed the limit ends in StateQuarantined instead of being
+// retried forever.  Panics — unlike transient errors — indicate the
+// scenario itself drives the engine into a broken state, so replaying
+// it buys nothing and costs a worker each time.
+type quarantine struct {
+	mu       sync.Mutex
+	limit    int
+	failures map[string]int
+	poisoned map[string]bool
+}
+
+func newQuarantine(limit int) *quarantine {
+	return &quarantine{
+		limit:    limit,
+		failures: make(map[string]int),
+		poisoned: make(map[string]bool),
+	}
+}
+
+// noteFailure records one panic for hash and reports the running count
+// and whether the hash just became (or already was) quarantined.
+func (q *quarantine) noteFailure(hash string) (count int, quarantined bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.failures[hash]++
+	if q.failures[hash] >= q.limit {
+		q.poisoned[hash] = true
+	}
+	return q.failures[hash], q.poisoned[hash]
+}
+
+// Quarantined reports whether hash is poisoned.
+func (q *quarantine) Quarantined(hash string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.poisoned[hash]
+}
+
+// List returns the quarantined hashes in sorted order, for /healthz.
+func (q *quarantine) List() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.poisoned))
+	for h := range q.poisoned {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package serve
+
+import "sync"
+
+// queue is the bounded, criticality-tiered admission queue.  Dequeue
+// order is highest criticality first, FIFO within a tier.  When the
+// queue is full, admission may evict the newest job of the lowest tier
+// strictly below the incoming job's criticality — the same
+// lowest-criticality-first shedding order the bus scheduler uses — so a
+// burst of low-priority work can never starve high-priority jobs of
+// queue slots.
+type queue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	cap      int
+	// tiers is indexed by Criticality; each tier is FIFO.
+	tiers  [critLevels][]*Job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depthLocked()
+}
+
+func (q *queue) depthLocked() int {
+	n := 0
+	for _, t := range q.tiers {
+		n += len(t)
+	}
+	return n
+}
+
+// admit enqueues j.  When the queue is full it evicts the newest queued
+// job of the lowest tier strictly below j's criticality, returning it
+// so the caller can mark it shed; evicting the newest (not the oldest)
+// keeps the victim tier's FIFO head intact, so the longest-waiting
+// low-criticality job is the last of its tier to lose its slot.  ok is
+// false when the queue is full with no eligible victim, or closed.
+func (q *queue) admit(j *Job) (evicted *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false
+	}
+	if q.depthLocked() >= q.cap {
+		evicted = q.evictBelowLocked(j.Crit)
+		if evicted == nil {
+			return nil, false
+		}
+	}
+	q.tiers[j.Crit] = append(q.tiers[j.Crit], j)
+	q.nonEmpty.Signal()
+	return evicted, true
+}
+
+// evictBelowLocked removes and returns the newest job of the lowest
+// non-empty tier strictly below crit, or nil.
+func (q *queue) evictBelowLocked(crit Criticality) *Job {
+	for tier := Criticality(0); tier < crit; tier++ {
+		if n := len(q.tiers[tier]); n > 0 {
+			victim := q.tiers[tier][n-1]
+			q.tiers[tier] = q.tiers[tier][:n-1]
+			return victim
+		}
+	}
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and empty.
+// Closing stops admission but not consumption: workers keep draining
+// queued jobs, which is exactly the graceful-drain contract.
+func (q *queue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for tier := Criticality(critLevels) - 1; ; tier-- {
+			if len(q.tiers[tier]) > 0 {
+				j := q.tiers[tier][0]
+				q.tiers[tier] = q.tiers[tier][1:]
+				return j, true
+			}
+			if tier == 0 {
+				break
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.nonEmpty.Wait()
+	}
+}
+
+// close stops admission and wakes every waiting worker so they can
+// drain the remaining jobs and exit.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func job(id string, crit Criticality) *Job {
+	return &Job{ID: id, Crit: crit}
+}
+
+func TestQueuePopOrderIsCriticalityThenFIFO(t *testing.T) {
+	q := newQueue(8)
+	for _, j := range []*Job{
+		job("l1", CritLow), job("n1", CritNormal), job("h1", CritHigh),
+		job("n2", CritNormal), job("h2", CritHigh),
+	} {
+		if _, ok := q.admit(j); !ok {
+			t.Fatalf("admit %s failed", j.ID)
+		}
+	}
+	want := []string{"h1", "h2", "n1", "n2", "l1"}
+	for _, id := range want {
+		j, ok := q.pop()
+		if !ok || j.ID != id {
+			t.Fatalf("pop = %v/%v, want %s", j, ok, id)
+		}
+	}
+}
+
+func TestQueueEvictsNewestLowerCriticality(t *testing.T) {
+	q := newQueue(2)
+	l1, l2 := job("l1", CritLow), job("l2", CritLow)
+	q.admit(l1)
+	q.admit(l2)
+
+	// Equal criticality cannot evict: the queue is full for peers.
+	if _, ok := q.admit(job("l3", CritLow)); ok {
+		t.Fatal("low job evicted a low job")
+	}
+
+	// A high job evicts the newest low job, keeping the FIFO head.
+	evicted, ok := q.admit(job("h1", CritHigh))
+	if !ok || evicted != l2 {
+		t.Fatalf("admit high: evicted %v, ok %v; want l2", evicted, ok)
+	}
+
+	// Now holding {l1, h1}: a normal job still finds a low victim.
+	evicted, ok = q.admit(job("n1", CritNormal))
+	if !ok || evicted != l1 {
+		t.Fatalf("admit normal: evicted %v, ok %v; want l1", evicted, ok)
+	}
+
+	// Holding {h1, n1}: another high job evicts the normal one.
+	evicted, ok = q.admit(job("h2", CritHigh))
+	if !ok || evicted == nil || evicted.ID != "n1" {
+		t.Fatalf("admit high: evicted %v, ok %v; want n1", evicted, ok)
+	}
+
+	// Holding {h1, h2}: nothing below high remains; reject.
+	if _, ok := q.admit(job("h3", CritHigh)); ok {
+		t.Fatal("high job admitted into a full all-high queue")
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}
+
+func TestQueueCloseDrainsThenStops(t *testing.T) {
+	q := newQueue(4)
+	q.admit(job("a", CritNormal))
+	q.admit(job("b", CritNormal))
+	q.close()
+	if _, ok := q.admit(job("c", CritNormal)); ok {
+		t.Fatal("admit succeeded after close")
+	}
+	if j, ok := q.pop(); !ok || j.ID != "a" {
+		t.Fatalf("pop after close = %v/%v, want a", j, ok)
+	}
+	if j, ok := q.pop(); !ok || j.ID != "b" {
+		t.Fatalf("pop after close = %v/%v, want b", j, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop reported a job from a drained closed queue")
+	}
+}
+
+func TestQueuePopBlocksUntilAdmit(t *testing.T) {
+	q := newQueue(4)
+	got := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j, ok := q.pop()
+		if ok {
+			got <- j.ID
+		} else {
+			got <- "(closed)"
+		}
+	}()
+	q.admit(job("x", CritLow))
+	if id := <-got; id != "x" {
+		t.Fatalf("blocked pop returned %q, want x", id)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/runner"
+)
+
+// TransientError marks a failure worth retrying: the same attempt may
+// succeed later without any change to the job.  Everything else —
+// invalid specs, simulation setup errors, deadline expiry — is
+// permanent and fails the job on first occurrence.
+type TransientError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable; a nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// RetryPolicy is the deterministic transient-failure retry schedule:
+// exponential backoff with splitmix64-derived jitter.  The jitter for
+// attempt k of a job is a pure function of (job seed, scenario hash, k)
+// — never wall clock, never the global rand source — so the full retry
+// timeline replays byte-identically for the same seed and failure
+// schedule, at any worker count.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, the first included
+	// (default 3).
+	MaxAttempts int
+	// BaseBackoff is the wait after the first failure; it doubles per
+	// attempt (default 10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+}
+
+// fill applies the documented defaults.
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+}
+
+// Backoff returns the wait after failed attempt `attempt` (1-based):
+// BaseBackoff·2^(attempt−1), capped at MaxBackoff, plus a deterministic
+// jitter in [0, backoff/2] derived via the runner's splitmix64 cell-seed
+// mix from (seed, scenario hash, attempt).
+func (p RetryPolicy) Backoff(seed uint64, hash string, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	span := uint64(d/2) + 1
+	jitter := time.Duration(runner.CellSeed(seed, hashWord(hash), uint64(attempt)) % span)
+	return d + jitter
+}
+
+// hashWord folds the leading 16 hex digits of a canonical scenario hash
+// into the uint64 the jitter derivation mixes in, so two scenarios never
+// share a jitter stream.
+func hashWord(hash string) uint64 {
+	if len(hash) > 16 {
+		hash = hash[:16]
+	}
+	w, err := strconv.ParseUint(hash, 16, 64)
+	if err != nil {
+		// Non-hex hashes only occur in hand-written tests; fold the raw
+		// bytes instead of failing.
+		for _, b := range []byte(hash) {
+			w = w<<8 | uint64(b)
+		}
+	}
+	return w
+}
+
+// panicError is the error form of a recovered worker panic: the panic
+// value plus the panicking goroutine's stack, so a poisoned scenario is
+// diagnosable from the job status alone.
+type panicError struct {
+	value string
+	stack []byte
+}
+
+// Error implements error.
+func (e *panicError) Error() string {
+	return fmt.Sprintf("worker panicked: %s\n%s", e.value, e.stack)
+}

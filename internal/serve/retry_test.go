@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{}
+	p.fill()
+	const hash = "ab12cd34ef56ab78ab12cd34ef56ab78"
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := p.Backoff(7, hash, attempt)
+		b := p.Backoff(7, hash, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		// Base doubles per attempt, capped; jitter adds at most half.
+		base := p.BaseBackoff
+		for i := 1; i < attempt && base < p.MaxBackoff; i++ {
+			base *= 2
+		}
+		if base > p.MaxBackoff {
+			base = p.MaxBackoff
+		}
+		if a < base || a > base+base/2 {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, a, base, base+base/2)
+		}
+	}
+}
+
+func TestBackoffJitterVariesBySeedHashAttempt(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Second, MaxBackoff: time.Second}
+	p.fill()
+	base := p.Backoff(1, "00000000000000aa", 1)
+	differs := 0
+	for _, alt := range []time.Duration{
+		p.Backoff(2, "00000000000000aa", 1), // seed changed
+		p.Backoff(1, "00000000000000ab", 1), // hash changed
+		p.Backoff(1, "00000000000000aa", 2), // attempt changed (same cap)
+	} {
+		if alt != base {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Error("jitter ignores seed, hash and attempt entirely")
+	}
+}
+
+func TestHashWordFoldsHexAndFallsBack(t *testing.T) {
+	if hashWord("00000000000000ff") != 0xff {
+		t.Error("hex prefix not parsed")
+	}
+	if hashWord("00000000000000ffdeadbeef") != 0xff {
+		t.Error("long hash not truncated to 16 digits")
+	}
+	if hashWord("not-hex!") == 0 {
+		t.Error("non-hex fallback produced zero")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("link flap")
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Error("Transient not recognized")
+	}
+	if !errors.Is(err, base) {
+		t.Error("Transient does not unwrap")
+	}
+	wrapped := fmt.Errorf("attempt 2: %w", err)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient not recognized")
+	}
+	if IsTransient(base) {
+		t.Error("plain error misclassified as transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil misclassified as transient")
+	}
+}

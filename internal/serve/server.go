@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/flexray-go/coefficient/internal/scenario"
+)
+
+// Server is the simulation daemon: admission control, worker pool,
+// result store, and the HTTP API.  Create one with New, launch the
+// workers with Start, expose Handler over HTTP, and stop with Drain.
+type Server struct {
+	cfg   Config
+	q     *queue
+	store *Store
+	quar  *quarantine
+
+	// runCtx is the execution context every job attempt derives from;
+	// runCancel is the drain deadline's hard stop.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	// workersDone closes when every worker has exited.
+	workersDone chan struct{}
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	seq           int
+	counts        [stateCount]int
+	admitted      int
+	draining      bool
+	started       bool
+	doubleReports int
+}
+
+// New builds a Server from cfg (zero-value fields get defaults).
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		q:           newQueue(cfg.QueueCapacity),
+		store:       NewStore(),
+		quar:        newQuarantine(cfg.QuarantineAfter),
+		runCtx:      ctx,
+		runCancel:   cancel,
+		workersDone: make(chan struct{}),
+		jobs:        make(map[string]*Job),
+	}
+}
+
+// Store exposes the result store (read access for callers embedding the
+// server in tests or tools).
+func (s *Server) Store() *Store { return s.store }
+
+// Start launches the worker pool.  It may be called once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerLoop()
+		}()
+	}
+	done := s.workersDone
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// Drain performs the graceful shutdown: stop admitting, let the workers
+// finish every queued and in-flight job, and flush the result store.
+// When ctx expires first, in-flight attempts are hard-cancelled (they
+// stop at the next cell boundary or retry sleep) and the remaining
+// queued jobs fail fast, so the drain still terminates; the store is
+// flushed either way and ctx's error is returned to signal the forced
+// stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	if !alreadyDraining {
+		s.q.close()
+	}
+	var forced error
+	if started {
+		select {
+		case <-s.workersDone:
+		case <-ctx.Done():
+			forced = ctx.Err()
+			s.runCancel()
+			<-s.workersDone
+		}
+	}
+	if dir := s.cfg.ResultDir; dir != "" {
+		if err := s.store.Flush(dir); err != nil {
+			return err
+		}
+	}
+	return forced
+}
+
+// Stats is the /healthz snapshot.
+type Stats struct {
+	// Queued..Quarantined count jobs per state.
+	Queued, Running, Done, Failed, Shed, Quarantined int
+	// QueueDepth is the current admission-queue occupancy.
+	QueueDepth int
+	// Admitted counts every job that entered the queue.
+	Admitted int
+	// Results counts distinct stored results.
+	Results int
+	// DoubleReports counts attempted terminal-to-terminal transitions;
+	// always zero unless the state machine is broken.
+	DoubleReports int
+	// StoreConflicts counts conflicting result writes; always zero
+	// unless determinism is broken.
+	StoreConflicts int
+	// Draining reports whether admission has stopped.
+	Draining bool
+	// Workers is the configured worker count.
+	Workers int
+	// QuarantinedHashes lists the poisoned scenario hashes, sorted.
+	QuarantinedHashes []string
+}
+
+// Stats returns a consistent snapshot of the service state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Queued:        s.counts[StateQueued],
+		Running:       s.counts[StateRunning],
+		Done:          s.counts[StateDone],
+		Failed:        s.counts[StateFailed],
+		Shed:          s.counts[StateShed],
+		Quarantined:   s.counts[StateQuarantined],
+		Admitted:      s.admitted,
+		DoubleReports: s.doubleReports,
+		Draining:      s.draining,
+		Workers:       s.cfg.Workers,
+	}
+	s.mu.Unlock()
+	st.QueueDepth = s.q.depth()
+	st.Results = s.store.Len()
+	st.StoreConflicts = s.store.Conflicts()
+	st.QuarantinedHashes = s.quar.List()
+	return st
+}
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// transition moves job to state `to`, enforcing the terminal-once
+// invariant: a job already in a terminal state is never moved again
+// (the attempt is counted as a double report instead), so no job can be
+// reported completed twice.
+func (s *Server) transition(job *Job, to State, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job.state.Terminal() {
+		s.doubleReports++
+		return
+	}
+	s.counts[job.state]--
+	s.counts[to]++
+	job.state = to
+	if errMsg != "" {
+		job.errMsg = errMsg
+	}
+}
+
+// recordAttempt appends one entry to the job's retry timeline.
+func (s *Server) recordAttempt(job *Job, a Attempt) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.attempts = append(job.attempts, a)
+}
+
+// Submit admits a spec programmatically (the HTTP handler and tests
+// share this path).  Exactly one of the returns is meaningful:
+// a cached *Result, an admitted *Job, or an error classified by the
+// caller via errors.Is against ErrQueueFull / ErrQuarantined /
+// ErrDraining.
+func (s *Server) Submit(spec JobSpec) (*Job, *Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	hash, err := spec.CanonicalHash()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if res, ok := s.store.Get(hash); ok {
+		return nil, res, nil
+	}
+	if s.quar.Quarantined(hash) {
+		return nil, nil, fmt.Errorf("%w: scenario %s", ErrQuarantined, hash)
+	}
+	crit, err := ParseCriticality(spec.Criticality)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, ErrDraining
+	}
+	s.seq++
+	job := &Job{
+		ID:       fmt.Sprintf("j%d-%s", s.seq, hash[:8]),
+		Hash:     hash,
+		Spec:     spec,
+		Crit:     crit,
+		Deadline: spec.Deadline.Std(),
+		state:    StateQueued,
+	}
+	s.jobs[job.ID] = job
+	s.counts[StateQueued]++
+	s.admitted++
+	s.mu.Unlock()
+
+	evicted, ok := s.q.admit(job)
+	if !ok {
+		// Roll the registration back: the job never held a queue slot.
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.counts[StateQueued]--
+		s.admitted--
+		s.mu.Unlock()
+		return nil, nil, ErrQueueFull
+	}
+	if evicted != nil {
+		s.transition(evicted, StateShed,
+			fmt.Sprintf("evicted by higher-criticality job %s", job.ID))
+	}
+	return job, nil, nil
+}
+
+// Sentinel admission errors.
+var (
+	// ErrBadSpec rejects an invalid submission (HTTP 400).
+	ErrBadSpec = errors.New("serve: invalid job spec")
+	// ErrQueueFull rejects a submission with no evictable victim
+	// (HTTP 503 + Retry-After).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrQuarantined rejects a poisoned scenario (HTTP 409).
+	ErrQuarantined = errors.New("serve: scenario quarantined")
+	// ErrDraining rejects submissions during shutdown
+	// (HTTP 503 + Retry-After).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Handler returns the HTTP API:
+//
+//	POST /jobs            submit a JobSpec; 202 queued, 200 cached,
+//	                      400 invalid, 409 quarantined, 503 full/draining
+//	GET  /jobs/{id}       job status incl. retry timeline
+//	GET  /results/{hash}  cached result by canonical scenario hash
+//	GET  /healthz         liveness + stats (always 200 while serving)
+//	GET  /readyz          200 accepting; 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// maxSpecBytes bounds a submission body; the scenario DSL is small.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	job, cached, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrQuarantined):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	case cached != nil:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "cached", "hash": cached.Hash, "result": cached,
+		})
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"id": job.ID, "hash": job.Hash, "status": job.stateName(s),
+		})
+	}
+}
+
+// stateName reads the job's state under the server lock.
+func (j *Job) stateName(s *Server) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.state.String()
+}
+
+// jobStatus is the GET /jobs/{id} document.
+type jobStatus struct {
+	ID          string            `json:"id"`
+	Hash        string            `json:"hash"`
+	State       string            `json:"state"`
+	Criticality string            `json:"criticality"`
+	Deadline    scenario.Duration `json:"deadline,omitempty"`
+	Attempts    []Attempt         `json:"attempts,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Result      *Result           `json:"result,omitempty"`
+}
+
+// Status renders the job's current status document.
+func (s *Server) Status(job *Job) jobStatus {
+	s.mu.Lock()
+	st := jobStatus{
+		ID:          job.ID,
+		Hash:        job.Hash,
+		State:       job.state.String(),
+		Criticality: job.Crit.String(),
+		Deadline:    scenario.Duration(job.Deadline),
+		Attempts:    append([]Attempt(nil), job.attempts...),
+		Error:       job.errMsg,
+	}
+	done := job.state == StateDone
+	s.mu.Unlock()
+	if done {
+		if res, ok := s.store.Get(job.Hash); ok {
+			st.Result = res
+		}
+	}
+	return st
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.store.Get(r.PathValue("hash"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown result"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// healthDoc is the /healthz document.
+type healthDoc struct {
+	Queued            int      `json:"queued"`
+	Running           int      `json:"running"`
+	Done              int      `json:"done"`
+	Failed            int      `json:"failed"`
+	Shed              int      `json:"shed"`
+	Quarantined       int      `json:"quarantined"`
+	QueueDepth        int      `json:"queueDepth"`
+	Admitted          int      `json:"admitted"`
+	Results           int      `json:"results"`
+	DoubleReports     int      `json:"doubleReports"`
+	StoreConflicts    int      `json:"storeConflicts"`
+	Draining          bool     `json:"draining"`
+	Workers           int      `json:"workers"`
+	QuarantinedHashes []string `json:"quarantinedHashes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, healthDoc{
+		Queued: st.Queued, Running: st.Running, Done: st.Done,
+		Failed: st.Failed, Shed: st.Shed, Quarantined: st.Quarantined,
+		QueueDepth: st.QueueDepth, Admitted: st.Admitted,
+		Results: st.Results, DoubleReports: st.DoubleReports,
+		StoreConflicts: st.StoreConflicts, Draining: st.Draining,
+		Workers: st.Workers, QuarantinedHashes: st.QuarantinedHashes,
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queueDepth": s.q.depth()})
+}
+
+// writeJSON emits one JSON response.  The encode error is deliberately
+// only loggable by the HTTP layer (the status line is already written);
+// a broken client connection must not fail the server.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The response is already committed; nothing useful remains.
+		_ = err
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/flexray-go/coefficient/internal/experiment"
+	"github.com/flexray-go/coefficient/internal/scenario"
+)
+
+// workerLoop is one data-plane worker: pop, run, repeat until the queue
+// is closed and drained.
+func (s *Server) workerLoop() {
+	for {
+		job, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob drives one job through the retry state machine until it
+// reaches a terminal state.  Every attempt is panic-isolated; transient
+// failures retry with the deterministic backoff schedule; panics count
+// toward the scenario's quarantine budget; everything else — including
+// deadline expiry and drain cancellation — fails the job permanently.
+func (s *Server) runJob(job *Job) {
+	ctx := s.runCtx
+	if job.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Deadline)
+		defer cancel()
+	}
+	s.transition(job, StateRunning, "")
+
+	for attempt := 1; ; attempt++ {
+		rows, err := s.attempt(ctx, job, attempt)
+		if err == nil {
+			res := &Result{
+				Hash:  job.Hash,
+				JobID: job.ID,
+				Rows:  rows,
+				Table: experiment.DegradationTable(rows).String(),
+			}
+			if perr := s.store.Put(res); perr != nil {
+				// A conflicting result is a determinism violation, not a
+				// transient fault; surface it on the job.
+				s.recordAttempt(job, Attempt{Attempt: attempt, Error: perr.Error()})
+				s.transition(job, StateFailed, perr.Error())
+				return
+			}
+			s.transition(job, StateDone, "")
+			return
+		}
+
+		var pe *panicError
+		if errors.As(err, &pe) {
+			_, poisoned := s.quar.noteFailure(job.Hash)
+			if poisoned {
+				s.recordAttempt(job, Attempt{Attempt: attempt, Error: err.Error(), Panic: true})
+				s.transition(job, StateQuarantined,
+					fmt.Sprintf("scenario quarantined after repeated panics: %s", pe.value))
+				return
+			}
+			// A panic below the quarantine budget is treated like a
+			// transient failure: retried on the schedule below.
+		} else if !IsTransient(err) {
+			// Permanent: spec/setup errors, deadline expiry, drain
+			// cancellation.
+			s.recordAttempt(job, Attempt{Attempt: attempt, Error: err.Error()})
+			s.transition(job, StateFailed, err.Error())
+			return
+		}
+
+		if attempt >= s.cfg.Retry.MaxAttempts {
+			msg := fmt.Sprintf("retries exhausted after %d attempts: %v", attempt, err)
+			s.recordAttempt(job, Attempt{Attempt: attempt, Error: err.Error(), Panic: pe != nil})
+			s.transition(job, StateFailed, msg)
+			return
+		}
+		backoff := s.cfg.Retry.Backoff(job.Spec.Seed, job.Hash, attempt)
+		s.recordAttempt(job, Attempt{
+			Attempt: attempt,
+			Error:   err.Error(),
+			Panic:   pe != nil,
+			Backoff: scenario.Duration(backoff),
+		})
+		if serr := s.cfg.Sleep(ctx, backoff); serr != nil {
+			s.transition(job, StateFailed, fmt.Sprintf("retry wait: %v", serr))
+			return
+		}
+	}
+}
+
+// attempt executes one panic-isolated attempt: the chaos hook first (so
+// injected panics, slow cells, and transient failures exercise the same
+// recovery paths real ones would), then the degradation harness on the
+// deterministic runner with the job's context threaded through.
+func (s *Server) attempt(ctx context.Context, job *Job, attempt int) (rows []experiment.DegradationRow, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: fmt.Sprint(r), stack: debug.Stack()}
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("job %s attempt %d: %w", job.ID, attempt, cerr)
+	}
+	if h := s.cfg.Hooks.BeforeAttempt; h != nil {
+		if herr := h(ctx, job.Hash, attempt); herr != nil {
+			return nil, herr
+		}
+	}
+	return experiment.Degradation(experiment.DegradationOptions{
+		Scenario:  job.Spec.Scenario,
+		Setting:   job.Spec.setting(),
+		Seed:      job.Spec.Seed,
+		Quick:     job.Spec.Quick,
+		Minislots: job.Spec.Minislots,
+		Parallel:  job.Spec.Parallel,
+		Ctx:       ctx,
+	})
+}
