@@ -37,6 +37,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/flexray-go/coefficient/internal/serve/journal"
 )
 
 func main() {
@@ -124,7 +126,10 @@ type trendEntry struct {
 
 // appendTrend appends the sweep to the trend file, creating it (and its
 // directory) on first use.  encoding/json writes map keys sorted, so the
-// line layout is stable across runs.
+// line layout is stable across runs.  The write goes through the
+// journal's fsynced single-O_APPEND-write helper: a crash mid-append can
+// lose the whole line but never leave a torn one, and the line is on
+// stable storage before the gate reports its verdict.
 func appendTrend(path string, cand map[string]benchFile, passed bool) error {
 	data, err := json.Marshal(trendEntry{
 		Time:        time.Now().UTC().Format(time.RFC3339),
@@ -134,22 +139,8 @@ func appendTrend(path string, cand map[string]benchFile, passed bool) error {
 	if err != nil {
 		return fmt.Errorf("encode trend entry: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	_, werr := f.Write(append(data, '\n'))
-	cerr := f.Close()
-	if werr != nil {
-		return fmt.Errorf("append trend %s: %w", path, werr)
-	}
-	if cerr != nil {
-		return fmt.Errorf("close trend %s: %w", path, cerr)
+	if err := journal.AppendFile(nil, path, append(data, '\n')); err != nil {
+		return fmt.Errorf("append trend: %w", err)
 	}
 	return nil
 }

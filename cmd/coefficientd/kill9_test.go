@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/flexray-go/coefficient/internal/experiment"
+)
+
+// The kill -9 recovery test needs a real process to murder: TestMain
+// re-execs the test binary as the daemon when COEFFICIENTD_CHILD is set,
+// so SIGKILL lands on an actual coefficientd run — no in-process
+// simulation of a crash.
+func TestMain(m *testing.M) {
+	if os.Getenv("COEFFICIENTD_CHILD") == "1" {
+		childMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// childMain is the daemon half of the re-exec: parse the JSON-encoded
+// args from the environment and run the real main loop, announcing the
+// bound address on stdout for the parent to scrape.
+func childMain() {
+	var args []string
+	if err := json.Unmarshal([]byte(os.Getenv("COEFFICIENTD_ARGS")), &args); err != nil {
+		fmt.Fprintln(os.Stderr, "child: bad COEFFICIENTD_ARGS:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, args, os.Stderr, func(addr string) {
+		fmt.Printf("ADDR %s\n", addr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// daemonProc is one re-exec'd coefficientd under test.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// spawnDaemon re-execs the test binary as a daemon and waits for its
+// listen address.
+func spawnDaemon(t *testing.T, args ...string) *daemonProc {
+	t.Helper()
+	enc, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "COEFFICIENTD_CHILD=1", "COEFFICIENTD_ARGS="+string(enc))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrc <- rest
+				break
+			}
+		}
+		close(addrc)
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			if kerr := cmd.Process.Kill(); kerr != nil {
+				t.Log(kerr)
+			}
+			t.Fatal("daemon child exited before announcing its address")
+		}
+		return &daemonProc{cmd: cmd, base: "http://" + addr}
+	case <-time.After(time.Minute):
+		if kerr := cmd.Process.Kill(); kerr != nil {
+			t.Log(kerr)
+		}
+		t.Fatal("daemon child never announced its address")
+		return nil
+	}
+}
+
+// kill9 SIGKILLs the daemon and reaps it.
+func (d *daemonProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	// The only acceptable outcome is death by SIGKILL.
+	if err := d.cmd.Wait(); err == nil || !strings.Contains(err.Error(), "killed") {
+		t.Fatalf("child exit after SIGKILL: %v", err)
+	}
+}
+
+// TestDaemonKill9RecoversJobsAndResults is the whole durability story in
+// one process-level run: boot with -state-dir, load a mix of jobs,
+// SIGKILL the daemon mid-flight, restart on the same state directory,
+// and require that every job submitted before the kill is still known
+// under its original ID, reaches done, and serves a table byte-identical
+// to an in-process offline run — completed jobs from the persistent
+// cache, interrupted ones by deterministic re-execution.
+func TestDaemonKill9RecoversJobsAndResults(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "16", "-state-dir", stateDir}
+	d1 := spawnDaemon(t, args...)
+
+	// One slow non-quick blocker pins the single worker (~10x a quick
+	// job), guaranteeing the quick jobs behind it are still queued when
+	// the SIGKILL lands.
+	type submitted struct {
+		id, hash string
+		spec     experiment.DegradationOptions
+	}
+	bodies := []string{`{"seed": 2, "parallel": 1}`}
+	specs := []experiment.DegradationOptions{{Seed: 2, Parallel: 1}}
+	for seed := 700; seed < 705; seed++ {
+		bodies = append(bodies, fmt.Sprintf(`{"seed": %d, "quick": true, "parallel": 1}`, seed))
+		specs = append(specs, experiment.DegradationOptions{Seed: uint64(seed), Quick: true, Parallel: 1})
+	}
+	var jobs []submitted
+	for i, body := range bodies {
+		resp, err := http.Post(d1.base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+		var acc struct{ ID, Hash string }
+		if err := json.Unmarshal(data, &acc); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, submitted{id: acc.ID, hash: acc.Hash, spec: specs[i]})
+	}
+
+	// Kill only once the daemon is visibly mid-flight: one job running,
+	// at least two more waiting.
+	midFlight := false
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		var h struct{ Running, Queued int }
+		if code := getJSON(t, d1.base+"/healthz", &h); code != http.StatusOK {
+			t.Fatalf("healthz: %d", code)
+		}
+		if h.Running >= 1 && h.Queued >= 2 {
+			midFlight = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !midFlight {
+		t.Fatal("daemon never reached the mid-flight state to kill")
+	}
+	d1.kill9(t)
+
+	// Restart on the same state directory: the journal replays.
+	d2 := spawnDaemon(t, args...)
+	defer func() {
+		if d2.cmd.Process != nil {
+			if err := d2.cmd.Process.Kill(); err == nil {
+				if werr := d2.cmd.Wait(); werr != nil &&
+					!strings.Contains(werr.Error(), "killed") {
+					t.Log(werr)
+				}
+			}
+		}
+	}()
+
+	var h struct{ RecoveredJobs, Admitted int }
+	if code := getJSON(t, d2.base+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz after restart: %d", code)
+	}
+	if h.RecoveredJobs < 1 {
+		t.Errorf("recoveredJobs = %d after mid-flight kill, want >= 1", h.RecoveredJobs)
+	}
+	if h.Admitted != len(jobs) {
+		t.Errorf("admitted = %d after restart, want all %d journaled jobs", h.Admitted, len(jobs))
+	}
+
+	// Every job must reach done under its original ID...
+	for _, job := range jobs {
+		var st struct{ Hash, State string }
+		for i := 0; i < 60000 && st.State != "done"; i++ {
+			if code := getJSON(t, d2.base+"/jobs/"+job.id, &st); code != http.StatusOK {
+				t.Fatalf("job %s unknown after restart: %d", job.id, code)
+			}
+			if st.State != "done" {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if st.State != "done" {
+			t.Fatalf("job %s never completed after restart; state %q", job.id, st.State)
+		}
+		if st.Hash != job.hash {
+			t.Errorf("job %s hash changed across restart: %s vs %s", job.id, st.Hash, job.hash)
+		}
+	}
+
+	// ...and serve exactly the bytes an uninterrupted offline run yields,
+	// whether the result came from the persistent cache or a re-run.
+	for _, job := range jobs {
+		var res struct{ Table string }
+		if code := getJSON(t, d2.base+"/results/"+job.hash, &res); code != http.StatusOK {
+			t.Fatalf("result %s missing after recovery: %d", job.hash, code)
+		}
+		rows, err := experiment.Degradation(job.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := experiment.DegradationTable(rows).String(); res.Table != want {
+			t.Errorf("job %s: recovered table differs from offline run:\n%s\nvs\n%s",
+				job.id, res.Table, want)
+		}
+	}
+}

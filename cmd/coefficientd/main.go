@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/flexray-go/coefficient/internal/serve"
+	"github.com/flexray-go/coefficient/internal/serve/journal"
 )
 
 func main() {
@@ -58,19 +59,41 @@ func run(ctx context.Context, args []string, logw io.Writer, onReady func(addr s
 		drain      = fs.Duration("drain", 30*time.Second, "graceful drain deadline on SIGTERM")
 		resultDir  = fs.String("results", "", "flush the result store into this directory on drain")
 		retryAfter = fs.Duration("retry-after", 2*time.Second, "Retry-After hint on 503 rejections")
+		stateDir   = fs.String("state-dir", "", "durable state directory (write-ahead journal + persistent results); empty runs memory-only")
+		fsyncFlag  = fs.String("fsync", "always", "journal fsync policy: always, batch or never")
+		diskFlag   = fs.String("disk-policy", "degrade", "on durable-state I/O errors: degrade (drop to memory-only) or fail (refuse new work)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fsync, err := journal.ParseFsyncMode(*fsyncFlag)
+	if err != nil {
+		return err
+	}
+	policy, err := serve.ParseDiskPolicy(*diskFlag)
+	if err != nil {
+		return err
+	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueCapacity:   *queueCap,
 		Retry:           serve.RetryPolicy{MaxAttempts: *retries},
 		QuarantineAfter: *quarantine,
 		RetryAfter:      *retryAfter,
 		ResultDir:       *resultDir,
+		StateDir:        *stateDir,
+		Fsync:           fsync,
+		DiskPolicy:      policy,
 	})
+	if err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		st := srv.Stats()
+		fmt.Fprintf(logw, "coefficientd: durable state in %s: %d results cached, %d jobs recovered, %d corrupt files quarantined (diskDegraded=%v)\n",
+			*stateDir, st.StoreEntries, st.RecoveredJobs, st.CorruptFiles, st.DiskDegraded)
+	}
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)

@@ -119,14 +119,18 @@ var criticalScope = map[string][]string{
 	"mapiter": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
-		"internal/serve",
+		"internal/serve", "internal/serve/journal",
 	},
+	// The durability layer (internal/serve/journal) is listed explicitly:
+	// suffix matching does not descend into subpackages, and journal
+	// replay must be a pure function of the bytes on disk — no wall-clock
+	// reads, no map-order leaks into record sequences.
 	"wallclock": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
-		"internal/serve",
+		"internal/serve", "internal/serve/journal",
 	},
-	"goroutineleak": {"internal/runner", "internal/sim", "internal/serve"},
+	"goroutineleak": {"internal/runner", "internal/sim", "internal/serve", "internal/serve/journal"},
 	"errdrop":       nil, // whole repository
 	// hotpath only fires inside functions that opt in with a
 	// //perf:hotpath marker, so it is scoped to the packages the

@@ -88,15 +88,19 @@ func TestApplies(t *testing.T) {
 		{"mapiter", mod + "/internal/plot", false},
 		{"mapiter", mod + "/internal/metrics", false},
 		{"mapiter", mod + "/internal/serve", true},
+		{"mapiter", mod + "/internal/serve/journal", true}, // record sequences must not leak map order
 		{"wallclock", mod + "/internal/sim", true},
-		{"wallclock", mod + "/internal/serve", true},      // retry jitter must be seeded, not wall-clock
-		{"wallclock", mod + "/cmd/coefficientsim", false}, // bench timing is legitimate there
+		{"wallclock", mod + "/internal/serve", true},         // retry jitter must be seeded, not wall-clock
+		{"wallclock", mod + "/internal/serve/journal", true}, // recovery is a pure function of bytes on disk
+		{"wallclock", mod + "/cmd/coefficientsim", false},    // bench timing is legitimate there
 		{"errdrop", mod + "/internal/plot", true},
+		{"errdrop", mod + "/internal/serve/journal", true},
 		{"errdrop", mod + "/cmd/coefficientsim", true},
 		{"errdrop", mod, true},
 		{"goroutineleak", mod + "/internal/runner", true},
 		{"goroutineleak", mod + "/internal/sim", true},
 		{"goroutineleak", mod + "/internal/serve", true},
+		{"goroutineleak", mod + "/internal/serve/journal", true},
 		{"goroutineleak", mod + "/internal/experiment", false},
 		{"hotpath", mod + "/internal/sim", true},
 		{"hotpath", mod + "/internal/core", true},

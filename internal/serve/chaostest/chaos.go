@@ -106,8 +106,9 @@ type Harness struct {
 
 // New builds a daemon from cfg with the plan's faults injected before
 // every attempt.  A BeforeAttempt hook already present in cfg still runs,
-// after the injector declines to fault.
-func New(cfg serve.Config, plan Plan) *Harness {
+// after the injector declines to fault.  The error is serve.New's —
+// non-nil only when cfg requests durable state that cannot be opened.
+func New(cfg serve.Config, plan Plan) (*Harness, error) {
 	h := &Harness{injected: make(map[Fault]int)}
 	prev := cfg.Hooks.BeforeAttempt
 	cfg.Hooks.BeforeAttempt = func(ctx context.Context, hash string, attempt int) error {
@@ -127,8 +128,12 @@ func New(cfg serve.Config, plan Plan) *Harness {
 		}
 		return nil
 	}
-	h.Server = serve.New(cfg)
-	return h
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.Server = srv
+	return h, nil
 }
 
 func (h *Harness) note(f Fault) {

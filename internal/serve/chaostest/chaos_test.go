@@ -41,7 +41,10 @@ func drain(t *testing.T, s *serve.Server, timeout time.Duration) error {
 // no job may be lost or double-reported, and every job that still
 // completes must produce the exact bytes of a serial offline run.
 func TestChaosMixedFaultsPreserveInvariants(t *testing.T) {
-	h := New(baseConfig(), Plan{Seed: 42, TransientPct: 30, PanicPct: 10})
+	h, err := New(baseConfig(), Plan{Seed: 42, TransientPct: 30, PanicPct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Server.Start()
 
 	crits := []string{"low", "", "high"}
@@ -99,7 +102,10 @@ func TestChaosMixedFaultsPreserveInvariants(t *testing.T) {
 // without are freed only by the forced drain — which must still
 // terminate, with every job accounted for.
 func TestChaosDeadlineStormForcedDrainTerminates(t *testing.T) {
-	h := New(baseConfig(), Plan{Seed: 7, SlowPct: 100})
+	h, err := New(baseConfig(), Plan{Seed: 7, SlowPct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Server.Start()
 
 	deadlined := 0
@@ -113,7 +119,7 @@ func TestChaosDeadlineStormForcedDrainTerminates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	err := drain(t, h.Server, 500*time.Millisecond)
+	err = drain(t, h.Server, 500*time.Millisecond)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("drain err = %v, want forced-drain DeadlineExceeded", err)
 	}
@@ -142,7 +148,10 @@ func TestChaosPoisonedScenarioQuarantined(t *testing.T) {
 	cfg := baseConfig()
 	cfg.QuarantineAfter = 2
 	cfg.Retry.MaxAttempts = 10
-	h := New(cfg, Plan{Seed: 1, Poisoned: map[string]bool{hash: true}})
+	h, err := New(cfg, Plan{Seed: 1, Poisoned: map[string]bool{hash: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Server.Start()
 
 	bad, _, err := h.Server.Submit(poisoned)

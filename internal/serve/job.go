@@ -179,8 +179,23 @@ type Job struct {
 	// Deadline is the parsed per-job deadline (0 = none).
 	Deadline time.Duration
 
+	// seq is the admission sequence number the ID embeds; it defines the
+	// deterministic re-enqueue order after a crash.
+	seq int
+
 	// state, attempts and errMsg are guarded by the Server's mutex.
 	state    State
 	attempts []Attempt
 	errMsg   string
+}
+
+// parseState maps a wire name back to a State, the inverse of String
+// for the real states (recovery replays journal records by wire name).
+func parseState(s string) (State, bool) {
+	for st := State(0); st < stateCount; st++ {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
 }

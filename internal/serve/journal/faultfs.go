@@ -1,0 +1,224 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoSpace is the injected ENOSPC-class failure FaultFS raises once
+// its write budget is exhausted.
+var ErrNoSpace = errors.New("journal: no space left on device (injected)")
+
+// FaultFS wraps another FS and injects disk faults on demand: an
+// exhaustible write budget (whose exhaustion mid-record produces a torn
+// write — the partial bytes land, the rest do not), byte corruption at
+// a chosen global write offset, short reads, and per-operation errors.
+// All knobs are goroutine-safe and deterministic: nothing here draws on
+// time or randomness, so a chaos schedule replays exactly.
+type FaultFS struct {
+	base FS
+
+	mu sync.Mutex
+	// budget is the number of bytes still writable; negative means
+	// unlimited.
+	budget int64
+	// written is the global count of bytes successfully written, the
+	// offset space CorruptWriteAt addresses.
+	written int64
+	// corruptAt is the global write offset whose byte is XOR-flipped on
+	// its way to disk; negative means none.
+	corruptAt int64
+	// shortRead truncates every ReadFile result by this many tail bytes.
+	shortRead int
+	// failOps maps an operation name to the error its next calls return.
+	failOps map[string]error
+}
+
+// NewFaultFS wraps base (nil means the real filesystem) with all faults
+// disarmed.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS()
+	}
+	return &FaultFS{base: base, budget: -1, corruptAt: -1, failOps: make(map[string]error)}
+}
+
+// SetWriteBudget arms the ENOSPC fault: after n more bytes, writes fail
+// with ErrNoSpace; a write straddling the boundary is torn — its first
+// bytes land, the rest do not.  Negative disarms.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// CorruptWriteAt flips one byte at the given offset of the global write
+// stream (as counted across all files since construction).  Negative
+// disarms.
+func (f *FaultFS) CorruptWriteAt(off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corruptAt = off
+}
+
+// Written returns the global number of bytes written so far — the
+// coordinate space CorruptWriteAt uses.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// SetShortRead makes every subsequent ReadFile drop its last n bytes —
+// the on-disk image a crash that lost trailing writes would leave.
+// Zero disarms.
+func (f *FaultFS) SetShortRead(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortRead = n
+}
+
+// FailOp makes every subsequent call of the named operation ("mkdirall",
+// "openappend", "create", "readfile", "readdir", "rename", "remove",
+// "syncdir", "sync") return err; nil disarms it.
+func (f *FaultFS) FailOp(op string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		delete(f.failOps, op)
+		return
+	}
+	f.failOps[op] = err
+}
+
+// opErr returns the armed error for op, if any.
+func (f *FaultFS) opErr(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failOps[op]
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.opErr("mkdirall"); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(dir)
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if err := f.opErr("openappend"); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.opErr("create"); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.opErr("readfile"); err != nil {
+		return nil, err
+	}
+	data, err := f.base.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	short := f.shortRead
+	f.mu.Unlock()
+	if short > 0 {
+		if short > len(data) {
+			short = len(data)
+		}
+		data = data[:len(data)-short]
+	}
+	return data, nil
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.opErr("readdir"); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(dir)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.opErr("rename"); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.opErr("remove"); err != nil {
+		return err
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.opErr("syncdir"); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultFile applies the write-stream faults to one open file.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+// Write applies the budget and corruption faults.  A budget exhausted
+// mid-buffer writes the affordable prefix and returns ErrNoSpace — the
+// torn write the journal's recovery path must survive.
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	n := len(p)
+	torn := false
+	if w.fs.budget >= 0 && int64(n) > w.fs.budget {
+		n = int(w.fs.budget)
+		torn = true
+	}
+	buf := make([]byte, n)
+	copy(buf, p[:n])
+	if w.fs.corruptAt >= 0 && w.fs.corruptAt >= w.fs.written && w.fs.corruptAt < w.fs.written+int64(n) {
+		buf[w.fs.corruptAt-w.fs.written] ^= 0xFF
+	}
+	w.fs.written += int64(n)
+	if w.fs.budget >= 0 {
+		w.fs.budget -= int64(n)
+	}
+	w.fs.mu.Unlock()
+
+	wrote, err := w.f.Write(buf)
+	if err != nil {
+		return wrote, err
+	}
+	if torn {
+		return wrote, fmt.Errorf("write %d of %d bytes: %w", wrote, len(p), ErrNoSpace)
+	}
+	return wrote, nil
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.opErr("sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

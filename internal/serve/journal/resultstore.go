@@ -1,0 +1,140 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ResultStore persists completed results as <dir>/<hash>.json, one file
+// per canonical scenario hash.  Every file is written via temp file +
+// fsync + atomic rename and carries a CRC over its payload, verified on
+// load: a corrupt file is renamed to a .corrupt sidecar and skipped, so
+// a damaged cache entry costs one deterministic re-execution, never a
+// wrong answer or a boot failure.
+type ResultStore struct {
+	fs  FS
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]bool
+}
+
+// envelope is the on-disk form: the payload plus its checksum.
+type envelope struct {
+	// CRC32C is the hex Castagnoli CRC-32 of Payload.
+	CRC32C string `json:"crc32c"`
+	// Payload is the stored result document.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// OpenResultStore creates dir if needed and returns an empty store
+// handle; call Load to read what a previous process persisted.
+func OpenResultStore(fsys FS, dir string) (*ResultStore, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	return &ResultStore{fs: fsys, dir: dir, entries: make(map[string]bool)}, nil
+}
+
+// payloadCRC renders the checksum the envelope stores.
+func payloadCRC(payload []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli))
+}
+
+// Put persists payload under hash.  The write is atomic: a crash leaves
+// either the previous file or the complete new one.  Re-putting the
+// same hash simply rewrites the file — the caller's write-once store
+// guarantees the bytes are identical.
+func (s *ResultStore) Put(hash string, payload []byte) error {
+	data, err := json.Marshal(envelope{CRC32C: payloadCRC(payload), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("resultstore: encode %s: %w", hash, err)
+	}
+	if err := writeFileAtomic(s.fs, filepath.Join(s.dir, hash+".json"), data); err != nil {
+		return fmt.Errorf("resultstore: persist %s: %w", hash, err)
+	}
+	s.mu.Lock()
+	s.entries[hash] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Load reads every persisted result, verifying each checksum, and
+// returns the payloads by hash plus the number of corrupt files
+// quarantined (renamed to <name>.corrupt).  Stale .tmp files from a
+// crashed atomic write are removed.  Load never fails on per-file
+// corruption; only directory-level I/O errors are returned.
+func (s *ResultStore) Load() (map[string][]byte, int, error) {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		if notExist(err) {
+			return map[string][]byte{}, 0, nil
+		}
+		return nil, 0, fmt.Errorf("resultstore: list %s: %w", s.dir, err)
+	}
+	sort.Strings(names)
+	out := make(map[string][]byte, len(names))
+	corrupt := 0
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			if err := s.fs.Remove(path); err != nil {
+				return nil, corrupt, fmt.Errorf("resultstore: remove stale %s: %w", path, err)
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		hash := strings.TrimSuffix(name, ".json")
+		payload, ok, err := s.loadOne(path)
+		if err != nil {
+			return nil, corrupt, err
+		}
+		if !ok {
+			corrupt++
+			continue
+		}
+		out[hash] = payload
+		s.mu.Lock()
+		s.entries[hash] = true
+		s.mu.Unlock()
+	}
+	return out, corrupt, nil
+}
+
+// loadOne reads and verifies one result file; ok is false when the file
+// was corrupt and has been quarantined.
+func (s *ResultStore) loadOne(path string) (payload []byte, ok bool, err error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		if notExist(err) {
+			// Lost a race with nothing in this process; treat as absent.
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("resultstore: read %s: %w", path, err)
+	}
+	var env envelope
+	if jerr := json.Unmarshal(data, &env); jerr == nil && env.CRC32C == payloadCRC(env.Payload) {
+		return env.Payload, true, nil
+	}
+	if err := s.fs.Rename(path, path+".corrupt"); err != nil {
+		return nil, false, fmt.Errorf("resultstore: quarantine %s: %w", path, err)
+	}
+	return nil, false, nil
+}
+
+// Entries returns the number of distinct hashes persisted or loaded.
+func (s *ResultStore) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

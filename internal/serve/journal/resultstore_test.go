@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestResultStorePutLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	rs, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[string]string{
+		"aaaa": `{"hash":"aaaa","table":"T1"}`,
+		"bbbb": `{"hash":"bbbb","table":"T2"}`,
+	}
+	for _, hash := range []string{"aaaa", "bbbb"} {
+		if err := rs.Put(hash, []byte(payloads[hash])); err != nil {
+			t.Fatalf("put %s: %v", hash, err)
+		}
+	}
+	if rs.Entries() != 2 {
+		t.Fatalf("entries = %d, want 2", rs.Entries())
+	}
+
+	rs2, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := rs2.Load()
+	if err != nil || corrupt != 0 {
+		t.Fatalf("load: %v (corrupt %d)", err, corrupt)
+	}
+	if len(loaded) != 2 || string(loaded["aaaa"]) != payloads["aaaa"] || string(loaded["bbbb"]) != payloads["bbbb"] {
+		t.Fatalf("loaded %v", loaded)
+	}
+	if rs2.Entries() != 2 {
+		t.Fatalf("entries after load = %d, want 2", rs2.Entries())
+	}
+}
+
+func TestResultStoreQuarantinesCorruptFilesAndRemovesStaleTmp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	rs, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Put("good", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Put("bad", []byte(`{"ok":false}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one stored payload byte after the fact.
+	badPath := filepath.Join(dir, "bad.json")
+	data, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And leave a stale temp file from a crashed atomic write.
+	if err := os.WriteFile(filepath.Join(dir, "half.json.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rs2, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", corrupt)
+	}
+	if len(loaded) != 1 || string(loaded["good"]) != `{"ok":true}` {
+		t.Errorf("loaded %v", loaded)
+	}
+	if _, err := os.Stat(badPath + ".corrupt"); err != nil {
+		t.Errorf("corrupt file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "half.json.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale tmp not removed: %v", err)
+	}
+}
+
+func TestResultStoreLoadOnMissingDirIsEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	rs, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory OpenResultStore created to model a state dir
+	// that never persisted anything.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := rs.Load()
+	if err != nil || corrupt != 0 || len(loaded) != 0 {
+		t.Fatalf("load of missing dir: %v %d %v", loaded, corrupt, err)
+	}
+}
+
+func TestResultStorePutIsAtomicUnderTornWrite(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	ffs := NewFaultFS(nil)
+	rs, err := OpenResultStore(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Put("aaaa", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// The next write tears mid-file: the visible aaaa.json must stay the
+	// old, complete version.
+	ffs.SetWriteBudget(10)
+	if err := rs.Put("aaaa", []byte(`{"v":1}`)); err == nil {
+		t.Fatal("torn put reported success")
+	}
+	ffs.SetWriteBudget(-1)
+
+	rs2, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := rs2.Load()
+	if err != nil || corrupt != 0 {
+		t.Fatalf("load: %v (corrupt %d)", err, corrupt)
+	}
+	if string(loaded["aaaa"]) != `{"v":1}` {
+		t.Fatalf("payload damaged by torn rewrite: %q", loaded["aaaa"])
+	}
+}
+
+func TestResultStoreCorruptionOnWritePathIsCaughtOnLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	ffs := NewFaultFS(nil)
+	rs, err := OpenResultStore(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte somewhere inside the next file write: a silent media
+	// corruption the checksum must catch at load time.
+	ffs.CorruptWriteAt(ffs.Written() + 30)
+	if err := rs.Put("cccc", []byte(`{"table":"important bytes"}`)); err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := OpenResultStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 1 || len(loaded) != 0 {
+		t.Fatalf("silent corruption not caught: loaded %v, corrupt %d", loaded, corrupt)
+	}
+}

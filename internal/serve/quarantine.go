@@ -38,6 +38,14 @@ func (q *quarantine) noteFailure(hash string) (count int, quarantined bool) {
 	return q.failures[hash], q.poisoned[hash]
 }
 
+// poison marks hash quarantined directly — the recovery path restoring
+// a quarantined terminal state from the journal.
+func (q *quarantine) poison(hash string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.poisoned[hash] = true
+}
+
 // Quarantined reports whether hash is poisoned.
 func (q *quarantine) Quarantined(hash string) bool {
 	q.mu.Lock()

@@ -75,6 +75,18 @@ func (q *queue) evictBelowLocked(crit Criticality) *Job {
 	return nil
 }
 
+// forceEnqueue appends j to its tier regardless of capacity.  Recovery
+// uses it to re-admit jobs that already held a slot before the crash:
+// bouncing them against the capacity check could lose admitted work,
+// which durability exists to prevent.  Called before Start, so no
+// worker is racing the queue yet.
+func (q *queue) forceEnqueue(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tiers[j.Crit] = append(q.tiers[j.Crit], j)
+	q.nonEmpty.Signal()
+}
+
 // pop blocks until a job is available or the queue is closed and empty.
 // Closing stops admission but not consumption: workers keep draining
 // queued jobs, which is exactly the graceful-drain contract.

@@ -40,6 +40,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"github.com/flexray-go/coefficient/internal/serve/journal"
 )
 
 // Criticality orders jobs for admission control, mirroring the bus
@@ -94,6 +96,44 @@ type Hooks struct {
 	BeforeAttempt func(ctx context.Context, hash string, attempt int) error
 }
 
+// DiskPolicy decides how the daemon reacts when its durable state
+// (journal or result store) suffers an I/O error.
+type DiskPolicy uint8
+
+const (
+	// DiskDegrade (the default) drops to the in-memory store: the daemon
+	// keeps serving, stops journaling, and surfaces diskDegraded on
+	// /healthz.  Results computed while degraded are lost on restart.
+	DiskDegrade DiskPolicy = iota
+	// DiskFail refuses new work once durability is lost: submissions are
+	// rejected with ErrDisk and /readyz reports not ready.  In-flight
+	// jobs still finish in memory.
+	DiskFail
+)
+
+// String returns the wire name of the policy.
+func (p DiskPolicy) String() string {
+	switch p {
+	case DiskDegrade:
+		return "degrade"
+	case DiskFail:
+		return "fail"
+	}
+	return fmt.Sprintf("diskpolicy(%d)", uint8(p))
+}
+
+// ParseDiskPolicy maps a flag value to a policy; the empty string means
+// DiskDegrade.
+func ParseDiskPolicy(s string) (DiskPolicy, error) {
+	switch s {
+	case "", "degrade":
+		return DiskDegrade, nil
+	case "fail":
+		return DiskFail, nil
+	}
+	return DiskDegrade, fmt.Errorf("unknown disk policy %q (want degrade or fail)", s)
+}
+
 // Config parameterizes a Server.  The zero value is usable: New fills
 // every field with the documented default.
 type Config struct {
@@ -111,6 +151,26 @@ type Config struct {
 	// ResultDir, when set, receives one <hash>.json per result when the
 	// store is flushed during drain.
 	ResultDir string
+	// StateDir, when set, enables crash-safe durability (DESIGN.md §12):
+	// a write-ahead job journal at <StateDir>/journal.wal and a
+	// persistent result store under <StateDir>/results/.  On startup the
+	// journal is replayed: terminal jobs reappear on the status API,
+	// persisted results are re-served from cache, and jobs that were
+	// admitted or running at crash time are re-enqueued in their original
+	// criticality+FIFO order.  Empty disables persistence entirely.
+	StateDir string
+	// Fsync is the journal's sync policy (default journal.FsyncAlways).
+	Fsync journal.FsyncMode
+	// DiskPolicy decides what a durable-state I/O error does (default
+	// DiskDegrade: keep serving from memory, surface diskDegraded).
+	DiskPolicy DiskPolicy
+	// JournalMaxBytes is the journal size past which it is compacted to
+	// a live-state snapshot (default 4 MiB).
+	JournalMaxBytes int64
+	// FS overrides the filesystem the durability layer writes through;
+	// nil selects the real one.  The chaos suite injects journal.FaultFS
+	// here.
+	FS journal.FS
 	// Sleep waits between retry attempts; nil selects a timer-based wait
 	// that aborts when ctx is done.  Tests substitute an instant,
 	// recording sleeper.

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/flexray-go/coefficient/internal/scenario"
+	"github.com/flexray-go/coefficient/internal/serve/journal"
 )
 
 // Server is the simulation daemon: admission control, worker pool,
@@ -37,13 +38,28 @@ type Server struct {
 	draining      bool
 	started       bool
 	doubleReports int
+
+	// Durability state (nil / zero when Config.StateDir is empty).
+	jrn              *journal.Journal
+	disk             *journal.ResultStore
+	jrnStats         journal.Stats
+	diskDegraded     bool
+	diskErr          string
+	recovered        int
+	corruptFiles     int
+	journalTruncated int
 }
 
-// New builds a Server from cfg (zero-value fields get defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero-value fields get defaults).  With
+// Config.StateDir set it also opens the durability layer and replays
+// the journal — corrupt state on disk never fails it (torn tails and
+// bad records are quarantined), but a real I/O error does under
+// DiskFail; under DiskDegrade the server comes up memory-only with
+// diskDegraded surfaced on /healthz.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		q:           newQueue(cfg.QueueCapacity),
 		store:       NewStore(),
@@ -53,6 +69,18 @@ func New(cfg Config) *Server {
 		workersDone: make(chan struct{}),
 		jobs:        make(map[string]*Job),
 	}
+	if cfg.StateDir != "" {
+		if err := s.openDurability(); err != nil {
+			if cfg.DiskPolicy == DiskFail {
+				cancel()
+				return nil, fmt.Errorf("serve: open durable state: %w", err)
+			}
+			s.mu.Lock()
+			s.degradeLocked(err)
+			s.mu.Unlock()
+		}
+	}
+	return s, nil
 }
 
 // Store exposes the result store (read access for callers embedding the
@@ -114,6 +142,19 @@ func (s *Server) Drain(ctx context.Context) error {
 			return err
 		}
 	}
+	// Close the journal last: every terminal transition the drain produced
+	// is already appended, so the final sync makes the shutdown state
+	// durable.  A close failure is only reported when the drain itself
+	// succeeded — the forced-stop error stays the primary signal.
+	s.mu.Lock()
+	jrn := s.jrn
+	s.jrn = nil
+	s.mu.Unlock()
+	if jrn != nil {
+		if err := jrn.Close(); err != nil && forced == nil {
+			return fmt.Errorf("serve: close journal: %w", err)
+		}
+	}
 	return forced
 }
 
@@ -139,6 +180,27 @@ type Stats struct {
 	Workers int
 	// QuarantinedHashes lists the poisoned scenario hashes, sorted.
 	QuarantinedHashes []string
+
+	// JournalRecords and JournalBytes size the live write-ahead journal;
+	// JournalLag counts appended records not yet fsynced (FsyncBatch).
+	// All zero when the server runs without a state directory.
+	JournalRecords int64
+	JournalBytes   int64
+	JournalLag     int
+	// StoreEntries counts result files in the persistent result store.
+	StoreEntries int
+	// DiskDegraded reports that durable state was abandoned after an I/O
+	// error; DiskError is that error.
+	DiskDegraded bool
+	DiskError    string
+	// RecoveredJobs counts interrupted jobs re-enqueued by journal replay
+	// at boot.
+	RecoveredJobs int
+	// CorruptFiles counts result files and journal records quarantined or
+	// skipped at boot; JournalTruncatedBytes counts torn-tail bytes moved
+	// to the .corrupt sidecar.
+	CorruptFiles          int
+	JournalTruncatedBytes int
 }
 
 // Stats returns a consistent snapshot of the service state.
@@ -155,8 +217,21 @@ func (s *Server) Stats() Stats {
 		DoubleReports: s.doubleReports,
 		Draining:      s.draining,
 		Workers:       s.cfg.Workers,
+
+		JournalRecords:        s.jrnStats.Records,
+		JournalBytes:          s.jrnStats.Bytes,
+		JournalLag:            s.jrnStats.Lag,
+		DiskDegraded:          s.diskDegraded,
+		DiskError:             s.diskErr,
+		RecoveredJobs:         s.recovered,
+		CorruptFiles:          s.corruptFiles,
+		JournalTruncatedBytes: s.journalTruncated,
 	}
+	disk := s.disk
 	s.mu.Unlock()
+	if disk != nil {
+		st.StoreEntries = disk.Entries()
+	}
 	st.QueueDepth = s.q.depth()
 	st.Results = s.store.Len()
 	st.StoreConflicts = s.store.Conflicts()
@@ -175,7 +250,10 @@ func (s *Server) Job(id string) (*Job, bool) {
 // transition moves job to state `to`, enforcing the terminal-once
 // invariant: a job already in a terminal state is never moved again
 // (the attempt is counted as a double report instead), so no job can be
-// reported completed twice.
+// reported completed twice.  Every transition is journaled in the order
+// it is applied — the append happens under the same lock hold, so the
+// journal replays to exactly the state sequence the server went
+// through.
 func (s *Server) transition(job *Job, to State, errMsg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,6 +267,25 @@ func (s *Server) transition(job *Job, to State, errMsg string) {
 	if errMsg != "" {
 		job.errMsg = errMsg
 	}
+	rec := journal.Record{Kind: to.String(), JobID: job.ID}
+	if to.Terminal() {
+		rec.Error = errMsg
+	}
+	// A journal failure here degrades durability (journalLocked flips
+	// diskDegraded) but cannot un-happen the transition.
+	s.journalAfterTheFact(rec)
+}
+
+// journalAfterTheFact appends a record whose event has already been
+// applied in memory: the only possible reaction to an append failure is
+// the degradation journalLocked itself performs, so the error carries
+// no extra information for the caller.
+func (s *Server) journalAfterTheFact(rec journal.Record) {
+	if err := s.journalLocked(rec); err != nil && !errors.Is(err, ErrDisk) {
+		// journalLocked only returns ErrDisk-wrapped errors; this branch
+		// exists to keep the contract honest if that ever changes.
+		s.diskErr = err.Error()
+	}
 }
 
 // recordAttempt appends one entry to the job's retry timeline.
@@ -196,6 +293,9 @@ func (s *Server) recordAttempt(job *Job, a Attempt) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job.attempts = append(job.attempts, a)
+	if rec, err := attemptRecord(job, a); err == nil {
+		s.journalAfterTheFact(rec)
+	}
 }
 
 // Submit admits a spec programmatically (the HTTP handler and tests
@@ -227,6 +327,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, *Result, error) {
 		s.mu.Unlock()
 		return nil, nil, ErrDraining
 	}
+	if s.diskDegraded && s.cfg.DiskPolicy == DiskFail {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrDisk, s.diskErr)
+	}
 	s.seq++
 	job := &Job{
 		ID:       fmt.Sprintf("j%d-%s", s.seq, hash[:8]),
@@ -234,20 +338,39 @@ func (s *Server) Submit(spec JobSpec) (*Job, *Result, error) {
 		Spec:     spec,
 		Crit:     crit,
 		Deadline: spec.Deadline.Std(),
+		seq:      s.seq,
 		state:    StateQueued,
 	}
 	s.jobs[job.ID] = job
 	s.counts[StateQueued]++
 	s.admitted++
+	// The admitted record is fsynced before Submit returns: a 202 implies
+	// the job survives a crash.  The spec marshalled for the hash above,
+	// so admittedRecord cannot fail here.
+	if rec, rerr := admittedRecord(job); rerr == nil {
+		if jerr := s.journalLocked(rec); jerr != nil && s.cfg.DiskPolicy == DiskFail {
+			// Durable admission is mandatory: unwind the registration and
+			// refuse the job.  It never reached the queue.
+			delete(s.jobs, job.ID)
+			s.counts[StateQueued]--
+			s.admitted--
+			s.seq--
+			s.mu.Unlock()
+			return nil, nil, jerr
+		}
+	}
 	s.mu.Unlock()
 
 	evicted, ok := s.q.admit(job)
 	if !ok {
 		// Roll the registration back: the job never held a queue slot.
+		// The admitted record is already on disk and cannot be unwritten;
+		// a rejected record cancels it on replay.
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
 		s.counts[StateQueued]--
 		s.admitted--
+		s.journalAfterTheFact(journal.Record{Kind: journal.KindRejected, JobID: job.ID})
 		s.mu.Unlock()
 		return nil, nil, ErrQueueFull
 	}
@@ -270,6 +393,11 @@ var (
 	// ErrDraining rejects submissions during shutdown
 	// (HTTP 503 + Retry-After).
 	ErrDraining = errors.New("serve: draining")
+	// ErrDisk rejects submissions while durable state is unavailable and
+	// Config.DiskPolicy is DiskFail (HTTP 507).  Under DiskDegrade the
+	// server keeps accepting work memory-only and this error never
+	// reaches clients.
+	ErrDisk = errors.New("serve: durable state unavailable")
 )
 
 // Handler returns the HTTP API:
@@ -310,6 +438,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrDisk):
+		writeJSON(w, http.StatusInsufficientStorage, map[string]string{"error": err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 	case cached != nil:
@@ -398,6 +528,16 @@ type healthDoc struct {
 	Draining          bool     `json:"draining"`
 	Workers           int      `json:"workers"`
 	QuarantinedHashes []string `json:"quarantinedHashes"`
+
+	JournalRecords        int64  `json:"journalRecords"`
+	JournalBytes          int64  `json:"journalBytes"`
+	JournalLag            int    `json:"journalLag"`
+	StoreEntries          int    `json:"storeEntries"`
+	DiskDegraded          bool   `json:"diskDegraded"`
+	DiskError             string `json:"diskError,omitempty"`
+	RecoveredJobs         int    `json:"recoveredJobs"`
+	CorruptFiles          int    `json:"corruptFiles"`
+	JournalTruncatedBytes int    `json:"journalTruncatedBytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -409,16 +549,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Results: st.Results, DoubleReports: st.DoubleReports,
 		StoreConflicts: st.StoreConflicts, Draining: st.Draining,
 		Workers: st.Workers, QuarantinedHashes: st.QuarantinedHashes,
+
+		JournalRecords: st.JournalRecords, JournalBytes: st.JournalBytes,
+		JournalLag: st.JournalLag, StoreEntries: st.StoreEntries,
+		DiskDegraded: st.DiskDegraded, DiskError: st.DiskError,
+		RecoveredJobs: st.RecoveredJobs, CorruptFiles: st.CorruptFiles,
+		JournalTruncatedBytes: st.JournalTruncatedBytes,
 	})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	diskDown := s.diskDegraded && s.cfg.DiskPolicy == DiskFail
 	s.mu.Unlock()
-	if draining {
+	if draining || diskDown {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "draining": draining, "diskDegraded": diskDown,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queueDepth": s.q.depth()})

@@ -35,6 +35,17 @@ func quickSpec(seed uint64) JobSpec {
 	return JobSpec{Seed: seed, Quick: true, Parallel: 1}
 }
 
+// mustNew builds a server or fails the test; only durable-state setups
+// can make New error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // drainAll settles the server: every admitted job reaches a terminal
 // state before it returns.
 func drainAll(t *testing.T, s *Server) {
@@ -77,7 +88,7 @@ func waitStats(t *testing.T, s *Server, what string, pred func(Stats) bool) {
 }
 
 func TestSubmitRunsJobAndMatchesOfflineRun(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	s.Start()
 	spec := quickSpec(1)
 	job, cached, err := s.Submit(spec)
@@ -104,7 +115,7 @@ func TestSubmitRunsJobAndMatchesOfflineRun(t *testing.T) {
 }
 
 func TestSubmitReturnsCachedResult(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	s.Start()
 	spec := quickSpec(2)
 	if _, _, err := s.Submit(spec); err != nil {
@@ -134,7 +145,7 @@ func TestSubmitReturnsCachedResult(t *testing.T) {
 }
 
 func TestBadSpecsRejected(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	cases := []JobSpec{
 		{Seed: 1, Setting: "BER-8"},
 		{Seed: 1, Criticality: "urgent"},
@@ -162,7 +173,7 @@ func TestAdmissionShedsByCriticalityAndRejectsWhenFull(t *testing.T) {
 			return ctx.Err()
 		}
 	}
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	s.Start()
 
 	// j1 occupies the single worker (held at the gate).
@@ -225,7 +236,7 @@ func TestJobDeadlineFailsSlowJob(t *testing.T) {
 		<-ctx.Done()
 		return ctx.Err()
 	}
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	s.Start()
 	spec := quickSpec(20)
 	spec.Deadline = 30 * 1000 * 1000 // 30ms in scenario.Duration (ns)
@@ -250,7 +261,7 @@ func TestQuarantineAfterRepeatedPanics(t *testing.T) {
 	cfg.Hooks.BeforeAttempt = func(ctx context.Context, hash string, attempt int) error {
 		panic(fmt.Sprintf("poisoned scenario, attempt %d", attempt))
 	}
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	s.Start()
 	spec := quickSpec(30)
 	job, _, err := s.Submit(spec)
@@ -294,7 +305,7 @@ func TestForcedDrainTerminatesWithNoJobLost(t *testing.T) {
 		<-ctx.Done() // in-flight jobs outrun any drain deadline
 		return ctx.Err()
 	}
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	s.Start()
 	for seed := uint64(40); seed < 43; seed++ {
 		if _, _, err := s.Submit(quickSpec(seed)); err != nil {
@@ -339,7 +350,7 @@ func TestRetryTimelineDeterministic(t *testing.T) {
 				},
 			},
 		}
-		s := New(cfg)
+		s := mustNew(t, cfg)
 		s.Start()
 		jobs := make([]*Job, 0, 3)
 		for seed := uint64(1); seed <= 3; seed++ {
@@ -397,7 +408,7 @@ func TestRetryTimelineDeterministic(t *testing.T) {
 func TestHTTPAPIEndToEnd(t *testing.T) {
 	cfg := testConfig()
 	cfg.ResultDir = filepath.Join(t.TempDir(), "served")
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -513,4 +524,84 @@ func TestHTTPAPIEndToEnd(t *testing.T) {
 	if !strings.Contains(string(data), "Graceful degradation") {
 		t.Errorf("flushed result incomplete: %s", data)
 	}
+}
+
+// TestHealthzReportsDurabilityGauges boots a daemon from the crash image
+// of a frozen one and asserts /healthz carries the durability gauges:
+// journal size, persistent-store size, degradation flag, and the number
+// of jobs the recovery replay re-enqueued.
+func TestHealthzReportsDurabilityGauges(t *testing.T) {
+	cfg := durableConfig(t)
+	cfg.Workers = 1
+	gate := make(chan struct{})
+	cfg.Hooks.BeforeAttempt = func(ctx context.Context, hash string, attempt int) error {
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s1 := mustNew(t, cfg)
+	s1.Start()
+	for seed := uint64(560); seed < 562; seed++ {
+		if _, _, err := s1.Submit(quickSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStats(t, s1, "worker busy", func(st Stats) bool { return st.Running == 1 })
+	crashDir := filepath.Join(t.TempDir(), "crash")
+	copyDir(t, cfg.StateDir, crashDir)
+
+	cfg2 := testConfig()
+	cfg2.StateDir = crashDir
+	s2 := mustNew(t, cfg2)
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+
+	gauges := func() map[string]any {
+		t.Helper()
+		resp, err := httpGet(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.status != http.StatusOK {
+			t.Fatalf("healthz status %d", resp.status)
+		}
+		doc := make(map[string]any)
+		if err := json.Unmarshal([]byte(resp.body), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	doc := gauges()
+	if got := doc["recoveredJobs"]; got != float64(2) {
+		t.Errorf("recoveredJobs = %v, want 2", got)
+	}
+	if got := doc["diskDegraded"]; got != false {
+		t.Errorf("diskDegraded = %v, want false", got)
+	}
+	if got := doc["journalRecords"]; got == float64(0) {
+		t.Error("journalRecords = 0 after replaying two admitted jobs")
+	}
+	if got := doc["journalBytes"]; got == float64(0) {
+		t.Error("journalBytes = 0 after replaying two admitted jobs")
+	}
+	if got := doc["storeEntries"]; got != float64(0) {
+		t.Errorf("storeEntries = %v before any result persisted, want 0", got)
+	}
+
+	s2.Start()
+	drainAll(t, s2)
+	doc = gauges()
+	if got := doc["storeEntries"]; got != float64(2) {
+		t.Errorf("storeEntries = %v after both recovered jobs completed, want 2", got)
+	}
+	if got := doc["done"]; got != float64(2) {
+		t.Errorf("done = %v, want 2", got)
+	}
+
+	close(gate)
+	drainAll(t, s1)
 }

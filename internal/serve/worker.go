@@ -52,6 +52,10 @@ func (s *Server) runJob(job *Job) {
 				s.transition(job, StateFailed, perr.Error())
 				return
 			}
+			// Persist the result BEFORE the done record: a done in the
+			// journal must imply the result file exists (recovery downgrades
+			// a done without a result to a re-enqueue).
+			s.persistResult(res)
 			s.transition(job, StateDone, "")
 			return
 		}
