@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz bench benchcheck profile lint ci
+.PHONY: all vet build test race fuzz bench benchcheck corpus corpus-update profile lint ci
 
 all: ci
 
@@ -56,6 +56,22 @@ TRENDFILE ?= results/BENCH_TREND.jsonl
 benchcheck: build
 	$(GO) run ./cmd/coefficientsim -experiment all $(BENCHFLAGS) -bench $(CHECKDIR)
 	$(GO) run ./cmd/benchguard -baseline $(BENCHDIR) -candidate $(CHECKDIR) -trend $(TRENDFILE)
+
+# Quick-mode scenario corpus (DESIGN.md §13): generate CORPUSCOUNT
+# scenarios from CORPUSSEED, run them differentially under CoEfficient,
+# FSPEC and adaptive CoEfficient with the invariant catalog armed,
+# verify outcomes are byte-identical at 1 and 8 workers, and diff the
+# results against the committed golden store.  `make corpus-update`
+# rewrites the store after an intended behavior change.
+CORPUSSEED ?= 1
+CORPUSCOUNT ?= 200
+CORPUSGOLDEN ?= results/corpus/golden-quick.json
+corpus: build
+	$(GO) run ./cmd/coefficientcorpus run -seed $(CORPUSSEED) -count $(CORPUSCOUNT) -quick -verify-parallel 8
+	$(GO) run ./cmd/coefficientcorpus diff -seed $(CORPUSSEED) -count $(CORPUSCOUNT) -quick -golden $(CORPUSGOLDEN)
+
+corpus-update: build
+	$(GO) run ./cmd/coefficientcorpus diff -seed $(CORPUSSEED) -count $(CORPUSCOUNT) -quick -golden $(CORPUSGOLDEN) -update
 
 # Profile the hot path two ways into PROFDIR: CPU/alloc profiles of a
 # full experiment sweep via cmd/coefficientsim, plus the engine

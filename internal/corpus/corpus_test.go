@@ -1,0 +1,241 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// genQuick generates a small quick-mode corpus for tests.
+func genQuick(t *testing.T, seed uint64, count int) []*Case {
+	t.Helper()
+	cases, err := Generate(GenOptions{Seed: seed, Count: count, Quick: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(cases) != count {
+		t.Fatalf("generated %d cases, want %d", len(cases), count)
+	}
+	return cases
+}
+
+// canonicalCorpus concatenates the canonical encodings of a case list.
+func canonicalCorpus(t *testing.T, cases []*Case) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, c := range cases {
+		data, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical(%s): %v", c.Name, err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateDeterministic: the corpus is a pure function of the seed —
+// same seed and count give byte-identical scenario JSON, different seeds
+// diverge, and the i-th case does not depend on how many follow it.
+func TestGenerateDeterministic(t *testing.T) {
+	a := canonicalCorpus(t, genQuick(t, 42, 32))
+	b := canonicalCorpus(t, genQuick(t, 42, 32))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed generated different corpora")
+	}
+	c := canonicalCorpus(t, genQuick(t, 43, 32))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds generated identical corpora")
+	}
+	prefix := canonicalCorpus(t, genQuick(t, 42, 8))
+	if !bytes.HasPrefix(a, prefix) {
+		t.Fatal("case i depends on corpus count")
+	}
+}
+
+// TestGenerateValidCompilable: every generated case validates, survives a
+// parse round-trip, compiles into a runnable setup, and no two cases
+// share a sim seed or a content hash.
+func TestGenerateValidCompilable(t *testing.T) {
+	cases := genQuick(t, 7, 64)
+	seeds := make(map[uint64]string, len(cases))
+	hashes := make(map[string]string, len(cases))
+	for _, c := range cases {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		data, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		back, err := ParseCase(data)
+		if err != nil {
+			t.Fatalf("%s: round-trip: %v", c.Name, err)
+		}
+		again, err := back.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("%s: canonical encoding not a fixpoint", c.Name)
+		}
+		if _, _, _, err := c.Compile(); err != nil {
+			t.Fatalf("%s: compile: %v", c.Name, err)
+		}
+		if prev, dup := seeds[c.SimSeed]; dup {
+			t.Fatalf("sim seed %#x shared by %s and %s", c.SimSeed, prev, c.Name)
+		}
+		seeds[c.SimSeed] = c.Name
+		h, err := c.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if prev, dup := hashes[h]; dup {
+			t.Fatalf("content hash shared by %s and %s", prev, c.Name)
+		}
+		hashes[h] = c.Name
+	}
+}
+
+// TestGeneratorCoverage: the quick corpus actually sweeps its dimensions —
+// every workload base, topology kind, priority mix and setting appears.
+func TestGeneratorCoverage(t *testing.T) {
+	cases := genQuick(t, 1, 96)
+	count := map[string]int{}
+	for _, c := range cases {
+		count["base:"+c.Workload.Base]++
+		count["topo:"+c.Topology.Kind]++
+		count["mix:"+c.Workload.PriorityMix]++
+		count["setting:"+c.Setting]++
+		if c.Timing != nil {
+			count["timing"]++
+		}
+		if len(c.Scenario.Nodes) > 0 {
+			count["node-crash"]++
+		}
+	}
+	for _, want := range []string{
+		"base:BBW", "base:ACC", "base:synthetic",
+		"topo:bus", "topo:star", "topo:hybrid",
+		"mix:fifo", "mix:reversed", "mix:tiered", "mix:shuffled",
+		"setting:BER-7", "setting:BER-9",
+		"timing", "node-crash",
+	} {
+		if count[want] == 0 {
+			t.Errorf("dimension value %q never generated in 96 cases", want)
+		}
+	}
+}
+
+// TestRunParallelIdentity: the differential harness is byte-identical at
+// parallel 1 and 8 — outcomes, hashes, ordering, everything.
+func TestRunParallelIdentity(t *testing.T) {
+	cases := genQuick(t, 11, 6)
+	if err := VerifyParallel(cases, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsQuickCorpus: a quick corpus passes the whole invariant
+// catalog.  Any violation here is a real scheduler/simulator bug — see
+// Minimize and testdata/regressions/.
+func TestInvariantsQuickCorpus(t *testing.T) {
+	cases := genQuick(t, 5, 24)
+	results, err := Run(cases, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range CheckAll(cases, results) {
+		t.Errorf("invariant violation: %s", v)
+	}
+}
+
+// TestStoreRoundTripAndDiff: the golden store round-trips through disk,
+// self-diffs empty, reports outcome changes, and refuses diffs across
+// different generation parameters.
+func TestStoreRoundTripAndDiff(t *testing.T) {
+	opts := GenOptions{Seed: 9, Count: 4, Quick: true}
+	cases, err := Generate(opts)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	results, err := Run(cases, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	store := NewStore(opts, results)
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := store.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadStore(path)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	lines, err := loaded.Diff(store)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(lines) != 0 {
+		t.Fatalf("self-diff not empty: %v", lines)
+	}
+	// A perturbed outcome must show up.
+	mutated := NewStore(opts, append([]CaseResult(nil), results...))
+	mutated.Results[0].Outcomes = append([]Outcome(nil), results[0].Outcomes...)
+	mutated.Results[0].Outcomes[0].Faults++
+	lines, err = loaded.Diff(mutated)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("perturbed diff = %v, want one line", lines)
+	}
+	// Parameter mismatches are refused.
+	other := NewStore(GenOptions{Seed: 10, Count: 4, Quick: true}, results)
+	if _, err := loaded.Diff(other); err == nil {
+		t.Fatal("diff across different seeds did not fail")
+	}
+}
+
+// TestMinimizeRejectsPassingCase: the minimizer refuses a case that does
+// not fail, rather than "shrinking" a healthy scenario to nothing.
+func TestMinimizeRejectsPassingCase(t *testing.T) {
+	cases := genQuick(t, 13, 1)
+	if _, err := Minimize(cases[0], "", RunOptions{}); err == nil {
+		t.Fatal("Minimize accepted a passing case")
+	}
+}
+
+// TestShrinkPassesSimplify: every shrink pass keeps a complex case valid
+// and compilable, and claims progress only when it changed something.
+func TestShrinkPassesSimplify(t *testing.T) {
+	for _, p := range passes {
+		// Regenerate per pass: passes mutate in place.
+		cases := genQuick(t, 17, 16)
+		applied := 0
+		for _, c := range cases {
+			before, err := c.Canonical()
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			changed := p.apply(c)
+			after, err := c.Canonical()
+			if err != nil {
+				t.Fatalf("%s after %s: %v", c.Name, p.name, err)
+			}
+			if changed != !bytes.Equal(before, after) {
+				t.Fatalf("%s: pass %s reported %v but change = %v",
+					c.Name, p.name, changed, !bytes.Equal(before, after))
+			}
+			if changed {
+				applied++
+				if _, _, _, err := c.Compile(); err != nil {
+					t.Fatalf("%s: pass %s broke the case: %v", c.Name, p.name, err)
+				}
+			}
+		}
+		if applied == 0 {
+			t.Errorf("pass %s never applied across 16 cases", p.name)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package corpus
+
+import (
+	"fmt"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/runner"
+	"github.com/flexray-go/coefficient/internal/scenario"
+)
+
+// Per-dimension seed streams.  Every random choice the generator makes
+// draws from an RNG seeded by runner.CellSeed(corpusSeed, stream, index):
+// each dimension of each case gets its own splitmix64-derived stream, so
+// no two draws — across cases, dimensions or corpus seeds — ever share
+// state, and tweaking one dimension's sampling never perturbs another's
+// (the experiment packages' additive-offset bug, DESIGN.md §13, cannot
+// recur here by construction).
+const (
+	dimWorkload uint64 = 1 + iota
+	dimSynthetic
+	dimDynamic
+	dimPriority
+	dimGeometry
+	dimTopology
+	dimSetting
+	dimChannelFaults
+	dimNodeFaults
+	dimTimingFaults
+	dimSimSeed
+)
+
+// GenOptions configures corpus generation.
+type GenOptions struct {
+	// Seed is the corpus seed: same seed + count ⇒ byte-identical cases.
+	Seed uint64
+	// Count is the number of cases to generate.
+	Count int
+	// Quick shrinks the horizon (80 ms instead of 300 ms) so a
+	// several-hundred-case sweep stays CI-sized.
+	Quick bool
+}
+
+// maxAttempts bounds the per-case feasibility loop: a drawn workload
+// whose static schedule is infeasible on the drawn geometry is redrawn
+// on a fresh attempt stream, deterministically.
+const maxAttempts = 32
+
+// Generate produces opts.Count validated, compilable cases.  The i-th
+// case of a given seed is always the same case, independent of Count:
+// generation is a pure function of (Seed, index, attempt).
+func Generate(opts GenOptions) ([]*Case, error) {
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("%w: count %d", ErrCase, opts.Count)
+	}
+	cases := make([]*Case, opts.Count)
+	for i := range cases {
+		c, err := generateOne(opts, uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("corpus case %d: %w", i, err)
+		}
+		cases[i] = c
+	}
+	return cases, nil
+}
+
+// generateOne draws case `index`, redrawing on infeasible geometry.
+func generateOne(opts GenOptions, index uint64) (*Case, error) {
+	var lastErr error
+	for attempt := uint64(0); attempt < maxAttempts; attempt++ {
+		c := drawCase(opts, index, attempt)
+		if _, _, _, err := c.Compile(); err != nil {
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("no feasible draw after %d attempts: %v", maxAttempts, lastErr)
+}
+
+// dimRNG returns the RNG of one dimension of one (case, attempt) draw.
+// The attempt counter folds into the index so redraws are independent.
+func dimRNG(opts GenOptions, dim, index, attempt uint64) *fault.RNG {
+	return fault.NewRNG(runner.CellSeed(opts.Seed, dim, index*maxAttempts+attempt))
+}
+
+// drawCase samples every dimension of case `index`, attempt `attempt`.
+func drawCase(opts GenOptions, index, attempt uint64) *Case {
+	horizon := 300
+	if opts.Quick {
+		horizon = 80
+	}
+	c := &Case{
+		Name:      fmt.Sprintf("corpus-%d-%04d", opts.Seed, index),
+		SimSeed:   runner.CellSeed(opts.Seed, dimSimSeed, index*maxAttempts+attempt),
+		HorizonMs: horizon,
+	}
+	drawWorkload(c, opts, index, attempt)
+	drawGeometry(c, opts, index, attempt)
+	drawTopology(c, opts, index, attempt)
+	drawSetting(c, opts, index, attempt)
+	drawFaults(c, opts, index, attempt)
+	return c
+}
+
+func drawWorkload(c *Case, opts GenOptions, index, attempt uint64) {
+	rng := dimRNG(opts, dimWorkload, index, attempt)
+	switch rng.Intn(4) {
+	case 0:
+		c.Workload.Base = "BBW"
+	case 1:
+		c.Workload.Base = "ACC"
+	default:
+		// Synthetic sets get double weight: they cover the parameter
+		// space the fixed tables cannot.
+		c.Workload.Base = "synthetic"
+		synRNG := dimRNG(opts, dimSynthetic, index, attempt)
+		c.Workload.SyntheticMessages = 20 + 10*synRNG.Intn(5) // 20..60
+		c.Workload.SyntheticSeed = synRNG.Uint64()
+	}
+	dynRNG := dimRNG(opts, dimDynamic, index, attempt)
+	c.Workload.DynamicCount = 10 + 5*dynRNG.Intn(5) // 10..30
+	c.Workload.DynamicSeed = dynRNG.Uint64()
+	prioRNG := dimRNG(opts, dimPriority, index, attempt)
+	c.Workload.PriorityMix = []string{"fifo", "reversed", "tiered", "shuffled"}[prioRNG.Intn(4)]
+	if c.Workload.PriorityMix == "shuffled" {
+		c.Workload.PrioritySeed = prioRNG.Uint64()
+	}
+}
+
+func drawGeometry(c *Case, opts GenOptions, index, attempt uint64) {
+	rng := dimRNG(opts, dimGeometry, index, attempt)
+	c.Minislots = []int{25, 50, 75, 100}[rng.Intn(4)]
+}
+
+func drawTopology(c *Case, opts GenOptions, index, attempt uint64) {
+	rng := dimRNG(opts, dimTopology, index, attempt)
+	switch rng.Intn(3) {
+	case 0:
+		c.Topology.Kind = "bus"
+	case 1:
+		c.Topology.Kind = "star"
+		c.Topology.Couplers = 1 + rng.Intn(2)
+	default:
+		c.Topology.Kind = "hybrid"
+		c.Topology.Couplers = 1 + rng.Intn(2)
+	}
+}
+
+func drawSetting(c *Case, opts GenOptions, index, attempt uint64) {
+	rng := dimRNG(opts, dimSetting, index, attempt)
+	c.Setting = []string{"BER-7", "BER-9"}[rng.Intn(2)]
+}
+
+// berLevels are the physical base BER regimes the corpus sweeps: clean,
+// the paper's nominal 1e-7, stressed, and harsh.
+var berLevels = []float64{0, 1e-7, 1e-5, 1e-4}
+
+// drawFaults scripts the case's fault timeline.  Windows are placed at
+// fixed fractions of the horizon — each fault family owns a disjoint
+// slice of the timeline, so scenario.Validate's no-overlap rules hold by
+// construction for every draw:
+//
+//	[10%, 25%)  channel-A degradation window (step, ramp or burst)
+//	[30%, 45%)  channel-B degradation window
+//	[50%, 60%)  channel blackout
+//	[40%, 70%)  node crash window
+//	[55%, 75%)  timing-fault window (sync loss or babble)
+func drawFaults(c *Case, opts GenOptions, index, attempt uint64) {
+	h := c.HorizonMs
+	ms := func(frac int) scenario.Duration {
+		return scenario.Duration(int64(h*frac) * 1_000_000 / 100)
+	}
+	chRNG := dimRNG(opts, dimChannelFaults, index, attempt)
+	sc := &scenario.Scenario{
+		Name:     c.Name,
+		Channels: map[string]*scenario.Channel{},
+	}
+	// Both channels always get a scripted base BER so the whole fault
+	// model lives in the Case document.
+	for i, key := range []string{"A", "B"} {
+		ch := &scenario.Channel{BaseBER: berLevels[chRNG.Intn(len(berLevels))]}
+		// Half the channels additionally degrade mid-run.
+		if chRNG.Intn(2) == 0 {
+			start, end := ms(10+20*i), ms(25+20*i)
+			switch chRNG.Intn(3) {
+			case 0:
+				ch.Steps = []scenario.Step{{Start: start, End: end, BER: 1e-3}}
+			case 1:
+				ch.Ramps = []scenario.Ramp{{Start: start, End: end, From: ch.BaseBER, To: 1e-3}}
+			default:
+				ch.Bursts = []scenario.Burst{{
+					Start: start, End: end,
+					BERGood: ch.BaseBER, BERBad: 1e-2,
+					PGoodToBad: 0.2, PBadToGood: 0.4,
+				}}
+			}
+		}
+		sc.Channels[key] = ch
+	}
+	// One channel in eight blacks out entirely for a tenth of the run.
+	if chRNG.Intn(8) == 0 {
+		key := []string{"A", "B"}[chRNG.Intn(2)]
+		sc.Channels[key].Blackouts = []scenario.Window{{Start: ms(50), End: ms(60)}}
+	}
+	// A quarter of cases crash a node mid-run; half of those recover.
+	nodeRNG := dimRNG(opts, dimNodeFaults, index, attempt)
+	if nodeRNG.Intn(4) == 0 {
+		ev := scenario.NodeEvent{Node: nodeRNG.Intn(10), FailAt: ms(40)}
+		if nodeRNG.Intn(2) == 0 {
+			ev.RecoverAt = ms(70)
+		}
+		sc.Nodes = []scenario.NodeEvent{ev}
+	}
+	// A quarter of cases switch on the local-clock layer with drift and
+	// a scripted timing fault.
+	timRNG := dimRNG(opts, dimTimingFaults, index, attempt)
+	if timRNG.Intn(4) == 0 {
+		c.Timing = &TimingSpec{
+			DriftPPM:    float64(50 + 50*timRNG.Intn(4)), // 50..200 ppm
+			SyncEnabled: true,
+			Guardians:   timRNG.Intn(2) == 0,
+		}
+		tf := &scenario.TimingFaults{}
+		node := timRNG.Intn(10)
+		// Never script a timing fault on a node a crash event silences:
+		// a crashed babbler cannot engage the guardian, which would
+		// falsify the guardian-engagement invariant for a reason the
+		// timeline itself explains.
+		if len(sc.Nodes) > 0 && node == sc.Nodes[0].Node {
+			node = (node + 1) % 10
+		}
+		switch timRNG.Intn(3) {
+		case 0:
+			tf.DriftSteps = []scenario.DriftStep{{Node: node, At: ms(55), PPM: 1500}}
+		case 1:
+			tf.SyncLoss = []scenario.NodeWindow{{Node: node, Start: ms(55), End: ms(75)}}
+		default:
+			tf.Babble = []scenario.NodeWindow{{Node: node, Start: ms(55), End: ms(75)}}
+		}
+		sc.Timing = tf
+	}
+	c.Scenario = sc
+}

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Violation is one failed invariant on one (case, scheduler) cell.
+type Violation struct {
+	// Case and Hash identify the failing scenario.
+	Case string `json:"case"`
+	Hash string `json:"hash"`
+	// Invariant is the catalog ID ("accounting", "fault-free-static", ...).
+	Invariant string `json:"invariant"`
+	// Scheduler is the failing policy ("" for cross-scheduler checks).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Detail explains the failure.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	who := v.Case
+	if v.Scheduler != "" {
+		who += "/" + v.Scheduler
+	}
+	return fmt.Sprintf("%s: %s: %s", who, v.Invariant, v.Detail)
+}
+
+// Check runs the invariant catalog (DESIGN.md §13) over one case's
+// differential outcomes.  Every invariant is a property the
+// implementation must hold on EVERY generated scenario — not a
+// statistical expectation.  The catalog deliberately excludes
+// plausible-sounding pseudo-invariants ("adaptive never misses more
+// than static CoEfficient") that a legitimate scenario can violate.
+func Check(c *Case, r CaseResult) []Violation {
+	var out []Violation
+	add := func(sched, inv, format string, args ...any) {
+		out = append(out, Violation{
+			Case:      r.Name,
+			Hash:      r.Hash,
+			Invariant: inv,
+			Scheduler: sched,
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+	for _, o := range r.Outcomes {
+		// run-ok: the cell produced a non-degenerate run — the simulator
+		// advanced cycles and every ratio / utilization is a sane number.
+		if o.Cycles <= 0 {
+			add(o.Scheduler, "run-ok", "simulated %d cycles", o.Cycles)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"staticMissRatio", o.StaticMissRatio},
+			{"dynamicMissRatio", o.DynamicMissRatio},
+			{"overallMissRatio", o.OverallMissRatio},
+			{"bandwidthUtil", o.BandwidthUtil},
+			{"rawUtil", o.RawUtil},
+		} {
+			if math.IsNaN(v.val) || v.val < 0 || (v.name != "rawUtil" && v.val > 1) {
+				add(o.Scheduler, "run-ok", "%s = %g out of range", v.name, v.val)
+			}
+		}
+		if len(o.TraceHash) != 64 {
+			add(o.Scheduler, "run-ok", "trace hash %q is not a sha256", o.TraceHash)
+		}
+
+		// accounting: counters cannot be negative, useful bandwidth can
+		// never exceed raw wire time, and a zero-miss segment cannot have
+		// drops (drops are misses by definition).
+		if o.StaticDelivered < 0 || o.StaticDropped < 0 || o.DynamicDelivered < 0 || o.DynamicDropped < 0 {
+			add(o.Scheduler, "accounting", "negative instance counters: %+v", o)
+		}
+		if o.BandwidthUtil > o.RawUtil+1e-12 {
+			add(o.Scheduler, "accounting", "useful bandwidth %g exceeds raw %g", o.BandwidthUtil, o.RawUtil)
+		}
+		if o.StaticMissRatio == 0 && o.StaticDropped > 0 {
+			add(o.Scheduler, "accounting", "%d static drops but zero static miss ratio", o.StaticDropped)
+		}
+		if o.DynamicMissRatio == 0 && o.DynamicDropped > 0 {
+			add(o.Scheduler, "accounting", "%d dynamic drops but zero dynamic miss ratio", o.DynamicDropped)
+		}
+
+		// fault-free-static: with zero BER, no fault windows, no node
+		// events and no clock layer, nothing can corrupt or displace a
+		// static frame — the wire must show zero faults and the static
+		// segment zero misses.
+		if c.FaultFree() {
+			if o.Faults != 0 {
+				add(o.Scheduler, "fault-free-static", "%d faults in a fault-free case", o.Faults)
+			}
+			if o.StaticMissRatio != 0 || o.StaticDropped != 0 {
+				add(o.Scheduler, "fault-free-static",
+					"static misses in a fault-free case: ratio %g, dropped %d",
+					o.StaticMissRatio, o.StaticDropped)
+			}
+		}
+
+		// reliability-goal: in a benign regime (base-rate bit errors only,
+		// at the rate the planner was told about, no worse than the
+		// paper's nominal 1e-7), CoEfficient's planned redundancy must
+		// keep the static segment's delivered fraction at or above the
+		// setting's goal ρ.  Harsher base rates are excluded — there the
+		// copy budget is capacity-bound and missing the goal is the
+		// expected outcome, not a bug.  FSPEC is exempt: its uniform copy
+		// count is capped, and the paper's point is exactly that it
+		// wastes bandwidth to get there.
+		if c.Benign() && c.maxBaseBER() <= 1e-7 && o.Scheduler != SchedFSPEC {
+			goal := 0.999
+			if c.Setting == "BER-9" {
+				goal = 0.99999
+			}
+			if miss := o.StaticMissRatio; miss > 1-goal+1e-9 {
+				add(o.Scheduler, "reliability-goal",
+					"benign static miss ratio %g exceeds 1-ρ = %g", miss, 1-goal)
+			}
+		}
+
+		// guardian-engagement: a babbling idiot with guardians enabled
+		// must be caught — the guardian veto counter cannot stay zero.
+		if c.HasBabble() && c.GuardiansOn() && o.GuardianBlocks == 0 {
+			add(o.Scheduler, "guardian-engagement",
+				"babble window scripted, guardians on, zero guardian blocks")
+		}
+	}
+
+	// Note what the catalog deliberately does NOT assert: cross-scheduler
+	// trace distinctness (CoEfficient and its adaptive variant coincide
+	// whenever the controller never triggers) and any "scheduler X never
+	// worse than Y" ordering (legitimate scenarios violate both
+	// directions).  Pseudo-invariants like these would turn the corpus
+	// into a flake generator.
+	return out
+}
+
+// CheckAll runs the catalog over a whole result set.
+func CheckAll(cases []*Case, results []CaseResult) []Violation {
+	var out []Violation
+	for i, r := range results {
+		out = append(out, Check(cases[i], r)...)
+	}
+	return out
+}

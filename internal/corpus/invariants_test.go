@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/scenario"
+)
+
+// babbleCase builds a guardians-on case with one babble window.
+func babbleCase(start, end scenario.Duration, nodes []scenario.NodeEvent) *Case {
+	return &Case{
+		Name:    "babble-scope",
+		SimSeed: 1,
+		Setting: "BER-7",
+		Workload: WorkloadSpec{
+			Base: "BBW", DynamicCount: 10, DynamicSeed: 1, PriorityMix: "fifo",
+		},
+		Topology:  TopologySpec{Kind: "bus"},
+		Minislots: 50,
+		HorizonMs: 80,
+		Scenario: &scenario.Scenario{
+			Channels: map[string]*scenario.Channel{"A": {}, "B": {}},
+			Nodes:    nodes,
+			Timing: &scenario.TimingFaults{
+				Babble: []scenario.NodeWindow{{Node: 3, Start: start, End: end}},
+			},
+		},
+		Timing: &TimingSpec{DriftPPM: 100, SyncEnabled: true, Guardians: true},
+	}
+}
+
+const ms = scenario.Duration(1_000_000)
+
+// TestGuardianInvariantScopedToEffectiveBabble pins a harness bug the
+// minimizer itself surfaced: a babble window past the horizon, or on a
+// node that a crash keeps down for the whole window, never drives a
+// slot — so the guardian-engagement invariant must not arm on it.
+// Before the fix, Minimize's halve-horizon pass could "shrink" any
+// babble case into one failing for that degenerate reason.
+func TestGuardianInvariantScopedToEffectiveBabble(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Case
+		want bool
+	}{
+		{"in-horizon live babbler", babbleCase(44*ms, 60*ms, nil), true},
+		{"window past horizon", babbleCase(100*ms, 120*ms, nil), false},
+		{"babbler down throughout", babbleCase(44*ms, 60*ms,
+			[]scenario.NodeEvent{{Node: 3, FailAt: 1 * ms}}), false},
+		{"babbler recovers mid-window", babbleCase(44*ms, 60*ms,
+			[]scenario.NodeEvent{{Node: 3, FailAt: 1 * ms, RecoverAt: 50 * ms}}), true},
+		{"other node down", babbleCase(44*ms, 60*ms,
+			[]scenario.NodeEvent{{Node: 4, FailAt: 1 * ms}}), true},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tc.c.HasBabble(); got != tc.want {
+			t.Errorf("%s: HasBabble = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// End-to-end: the degenerate cases must not report a
+	// guardian-engagement violation, the live one must stay green too
+	// (guardians actually contain it).
+	for _, tc := range cases {
+		results, err := Run([]*Case{tc.c}, RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, v := range Check(tc.c, results[0]) {
+			t.Errorf("%s: unexpected violation: %s", tc.name, v)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// stillFails runs the case and reports whether the named invariant (or,
+// with "", any invariant) still fails.
+func stillFails(c *Case, invariant string, opts RunOptions) (bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, nil // an invalid shrink candidate is simply rejected
+	}
+	if _, _, _, err := c.Compile(); err != nil {
+		return false, nil
+	}
+	results, err := Run([]*Case{c}, opts)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range Check(c, results[0]) {
+		if invariant == "" || v.Invariant == invariant {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// clone deep-copies a case via its canonical encoding.
+func clone(c *Case) (*Case, error) {
+	data, err := c.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	var out Case
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// shrinkPass is one candidate simplification.  It mutates the clone and
+// returns false when it has nothing left to remove.
+type shrinkPass struct {
+	name  string
+	apply func(*Case) bool
+}
+
+// passes lists the greedy shrink steps, most-structural first: strip
+// whole fault families, then collapse the workload, topology and
+// horizon.  Each pass is retried until it stops helping, so e.g. the
+// dynamic set halves repeatedly.
+var passes = []shrinkPass{
+	{"drop-timing-layer", func(c *Case) bool {
+		if c.Timing == nil && (c.Scenario == nil || c.Scenario.Timing == nil) {
+			return false
+		}
+		c.Timing = nil
+		if c.Scenario != nil {
+			c.Scenario.Timing = nil
+		}
+		return true
+	}},
+	{"drop-node-events", func(c *Case) bool {
+		if c.Scenario == nil || len(c.Scenario.Nodes) == 0 {
+			return false
+		}
+		c.Scenario.Nodes = nil
+		return true
+	}},
+	{"drop-channel-windows", func(c *Case) bool {
+		if c.Scenario == nil {
+			return false
+		}
+		any := false
+		for _, key := range []string{"A", "B"} {
+			ch, ok := c.Scenario.Channels[key]
+			if !ok || ch == nil {
+				continue
+			}
+			if len(ch.Steps)+len(ch.Ramps)+len(ch.Bursts)+len(ch.Blackouts) > 0 {
+				ch.Steps, ch.Ramps, ch.Bursts, ch.Blackouts = nil, nil, nil, nil
+				any = true
+			}
+		}
+		return any
+	}},
+	{"zero-base-ber", func(c *Case) bool {
+		if c.Scenario == nil {
+			return false
+		}
+		any := false
+		for _, key := range []string{"A", "B"} {
+			if ch, ok := c.Scenario.Channels[key]; ok && ch != nil && ch.BaseBER != 0 {
+				ch.BaseBER = 0
+				any = true
+			}
+		}
+		return any
+	}},
+	{"bus-topology", func(c *Case) bool {
+		if c.Topology.Kind == "bus" {
+			return false
+		}
+		c.Topology = TopologySpec{Kind: "bus"}
+		return true
+	}},
+	{"fifo-priorities", func(c *Case) bool {
+		if c.Workload.PriorityMix == "fifo" {
+			return false
+		}
+		c.Workload.PriorityMix = "fifo"
+		c.Workload.PrioritySeed = 0
+		return true
+	}},
+	{"halve-dynamic-set", func(c *Case) bool {
+		if c.Workload.DynamicCount <= 1 {
+			return false
+		}
+		c.Workload.DynamicCount /= 2
+		return true
+	}},
+	{"shrink-synthetic-set", func(c *Case) bool {
+		if c.Workload.Base != "synthetic" || c.Workload.SyntheticMessages <= 20 {
+			return false
+		}
+		c.Workload.SyntheticMessages -= 10
+		return true
+	}},
+	{"halve-horizon", func(c *Case) bool {
+		if c.HorizonMs <= 20 {
+			return false
+		}
+		c.HorizonMs /= 2
+		return true
+	}},
+}
+
+// maxShrinkRounds bounds the greedy loop.
+const maxShrinkRounds = 64
+
+// Minimize greedily shrinks a case that fails `invariant` (or any
+// invariant, with "") to a smaller case that still fails it, for
+// committing under testdata/regressions/.  Shrinking preserves
+// whatever the minimal failure needs: a pass that makes the failure
+// disappear — or the case invalid — is rolled back.
+func Minimize(c *Case, invariant string, opts RunOptions) (*Case, error) {
+	fails, err := stillFails(c, invariant, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !fails {
+		return nil, fmt.Errorf("corpus: case %s does not fail invariant %q", c.Name, invariant)
+	}
+	cur, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < maxShrinkRounds; round++ {
+		progressed := false
+		for _, p := range passes {
+			cand, err := clone(cur)
+			if err != nil {
+				return nil, err
+			}
+			if !p.apply(cand) {
+				continue
+			}
+			fails, err := stillFails(cand, invariant, opts)
+			if err != nil {
+				return nil, err
+			}
+			if fails {
+				cur = cand
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	cur.Name = c.Name + "-min"
+	return cur, nil
+}

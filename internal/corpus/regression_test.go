@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegressionReplay replays every committed regression scenario under
+// all three schedulers and re-checks the invariant catalog.  The
+// workflow: when a corpus sweep surfaces a violation, `coefficientcorpus
+// minimize` shrinks the failing case, the bug gets fixed, and the
+// minimized case lands in testdata/regressions/ — from then on this
+// test pins the fix.  The directory also pins hard-but-passing
+// scenarios (babble under guardians, a channel blackout during a node
+// crash) extracted from the generated corpus, so the trickiest fault
+// combinations stay covered even if the generator's sampling drifts.
+func TestRegressionReplay(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no regression cases committed")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := ParseCase(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			results, err := Run([]*Case{c}, RunOptions{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, v := range Check(c, results[0]) {
+				t.Errorf("invariant violation: %s", v)
+			}
+		})
+	}
+}

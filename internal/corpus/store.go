@@ -1,0 +1,119 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the content-hashed golden result store committed under
+// results/corpus/: the corpus parameters plus every case's differential
+// outcome, keyed by the case's content hash.  Any behavior change in
+// the simulator, a scheduler or the generator shows up as a diff
+// against the stored outcomes.
+type Store struct {
+	// Seed, Count and Quick are the generation parameters the store was
+	// built from; a diff against a store with different parameters is
+	// refused rather than reported as thousands of spurious changes.
+	Seed  uint64 `json:"seed"`
+	Count int    `json:"count"`
+	Quick bool   `json:"quick"`
+	// Results holds every case's outcomes in corpus order.
+	Results []CaseResult `json:"results"`
+}
+
+// NewStore bundles a run into a store document.
+func NewStore(opts GenOptions, results []CaseResult) *Store {
+	return &Store{Seed: opts.Seed, Count: opts.Count, Quick: opts.Quick, Results: results}
+}
+
+// Save writes the store as canonical JSON, creating parent directories.
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadStore reads a store document.
+func LoadStore(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Store
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("corpus store %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Diff compares a fresh run against the golden store and returns one
+// human-readable line per difference.  Cases are matched by content
+// hash: a changed generator produces added/removed lines, a changed
+// simulator or scheduler produces changed-outcome lines.
+func (s *Store) Diff(fresh *Store) ([]string, error) {
+	if s.Seed != fresh.Seed || s.Count != fresh.Count || s.Quick != fresh.Quick {
+		return nil, fmt.Errorf(
+			"corpus: store parameters differ (golden seed=%d count=%d quick=%v, fresh seed=%d count=%d quick=%v)",
+			s.Seed, s.Count, s.Quick, fresh.Seed, fresh.Count, fresh.Quick)
+	}
+	golden := make(map[string]CaseResult, len(s.Results))
+	for _, r := range s.Results {
+		golden[r.Hash] = r
+	}
+	var lines []string
+	seen := make(map[string]bool, len(fresh.Results))
+	for _, r := range fresh.Results {
+		seen[r.Hash] = true
+		g, ok := golden[r.Hash]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("+ %s (%s): new case", r.Name, short(r.Hash)))
+			continue
+		}
+		lines = append(lines, diffOutcomes(g, r)...)
+	}
+	for _, g := range s.Results {
+		if !seen[g.Hash] {
+			lines = append(lines, fmt.Sprintf("- %s (%s): case no longer generated", g.Name, short(g.Hash)))
+		}
+	}
+	return lines, nil
+}
+
+// diffOutcomes reports field-level changes between two runs of the same
+// case.
+func diffOutcomes(golden, fresh CaseResult) []string {
+	var lines []string
+	n := len(golden.Outcomes)
+	if len(fresh.Outcomes) < n {
+		n = len(fresh.Outcomes)
+	}
+	if len(golden.Outcomes) != len(fresh.Outcomes) {
+		lines = append(lines, fmt.Sprintf("~ %s: scheduler count %d -> %d",
+			golden.Name, len(golden.Outcomes), len(fresh.Outcomes)))
+	}
+	for i := 0; i < n; i++ {
+		g, f := golden.Outcomes[i], fresh.Outcomes[i]
+		if g == f {
+			continue
+		}
+		gj, _ := json.Marshal(g)
+		fj, _ := json.Marshal(f)
+		lines = append(lines, fmt.Sprintf("~ %s/%s:\n  golden: %s\n  fresh:  %s",
+			golden.Name, g.Scheduler, gj, fj))
+	}
+	return lines
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

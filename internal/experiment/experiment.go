@@ -239,13 +239,17 @@ func schedulers(set signal.Set, sc Scenario) []sim.Scheduler {
 	}
 }
 
-// injectors builds the per-channel fault injectors for a scenario.
+// injectors builds the per-channel fault injectors for a scenario.  The
+// channel streams are CellSeed-derived (see seed.go): the old seed*2+1 /
+// seed*2+2 offsets collided across base seeds (channel A of seed 2s+1
+// replayed the arrival stream of seed s's simulation, since sim.Run
+// consumes the raw seed).
 func injectors(sc Scenario, seed uint64) (fault.Injector, fault.Injector, error) {
-	a, err := fault.NewBERInjector(sc.BER, seed*2+1)
+	a, err := fault.NewBERInjector(sc.BER, deriveSeed(seed, seedStreamChannelA, 0))
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := fault.NewBERInjector(sc.BER, seed*2+2)
+	b, err := fault.NewBERInjector(sc.BER, deriveSeed(seed, seedStreamChannelB, 0))
 	if err != nil {
 		return nil, nil, err
 	}

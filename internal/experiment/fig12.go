@@ -120,7 +120,7 @@ func RunningTime(opts RunningTimeOptions) ([]RunningTimeRow, error) {
 			var syn signal.Set
 			syn, err = workload.Synthetic(workload.SyntheticOptions{
 				Messages: n,
-				Seed:     opts.Seed + uint64(n),
+				Seed:     deriveSeed(opts.Seed, seedStreamSynthetic, uint64(n)),
 			})
 			if err == nil {
 				set, err = runningTimeWorkload(syn, n, c.slots, opts.Seed)

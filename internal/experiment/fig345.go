@@ -282,7 +282,7 @@ func latencyStaticSet(wl string, opts LatencyOptions) (signal.Set, int, error) {
 	case "synthetic":
 		syn, err := workload.Synthetic(workload.SyntheticOptions{
 			Messages: opts.SyntheticMessages,
-			Seed:     opts.Seed + 99,
+			Seed:     deriveSeed(opts.Seed, seedStreamSynthetic, uint64(opts.SyntheticMessages)),
 		})
 		if err != nil {
 			return signal.Set{}, 0, err
@@ -335,7 +335,9 @@ type MissRow struct {
 type MissOptions struct {
 	// Scenarios defaults to {BER7, BER9}.
 	Scenarios []Scenario
-	// Seed drives arrivals and faults; replicas use Seed, Seed+1, ...
+	// Seed drives arrivals and faults; replica r runs at the derived
+	// seed deriveSeed(Seed, seedStreamReplica, r), so replicas are
+	// statistically independent and never collide across base seeds.
 	Seed uint64
 	// Quick shrinks the horizon.
 	Quick bool
@@ -404,7 +406,7 @@ func MissRatio(opts MissOptions) ([]MissRow, error) {
 		if err != nil {
 			return missSample{}, err
 		}
-		seed := opts.Seed + uint64(c.replica)
+		seed := deriveSeed(opts.Seed, seedStreamReplica, uint64(c.replica))
 		sched := schedulers(set, c.sc)[c.schedIdx]
 		res, err := runStreaming(set, setup, c.sc, sched, seed, opts.Quick)
 		if err != nil {

@@ -1,0 +1,44 @@
+package experiment
+
+import "github.com/flexray-go/coefficient/internal/runner"
+
+// Seed streams: every consumer of derived randomness in the experiment
+// harnesses draws its seed through deriveSeed with its own stream
+// constant, never by adding an ad-hoc offset to the base seed.
+//
+// Additive offsets (Seed+7, Seed+99, Seed+replica) are a correctness
+// bug, not just a style problem: replica r of base seed S replays the
+// identical random stream as replica 0 of base seed S+r, so replicas
+// that are supposed to be statistically independent are perfectly
+// correlated across base seeds, and two different consumers (a
+// synthetic-workload draw at Seed+7, a replica at Seed+7) can silently
+// share one stream.  Routing every derivation through the splitmix64
+// finalizer chain in runner.CellSeed gives each (base, stream, index)
+// triple an uncorrelated stream and makes cross-purpose collisions
+// cryptographically unlikely instead of guaranteed.
+//
+// The convention (documented in DESIGN.md §13):
+//
+//   - seedStreamReplica, index r — Monte-Carlo replica r of a figure-5
+//     point; replica 0 is deliberately NOT the raw base seed, so the
+//     replicated and unreplicated sweeps never share a stream either.
+//   - seedStreamSynthetic, index n — the synthetic workload of size n.
+//     One stream per size: every harness asking for a synthetic set of
+//     n messages at base seed S gets the same set, which keeps the
+//     figures comparable, while different sizes draw independently.
+//   - seedStreamChannelA / seedStreamChannelB, index 0 — the per-channel
+//     BER injectors of one run, derived from that run's (already
+//     replica-derived) seed.
+const (
+	seedStreamReplica uint64 = 1 + iota
+	seedStreamSynthetic
+	seedStreamChannelA
+	seedStreamChannelB
+)
+
+// deriveSeed is the single seed-derivation helper of this package: a
+// thin wrapper over runner.CellSeed fixing the (stream, index)
+// coordinate convention above.
+func deriveSeed(base, stream, index uint64) uint64 {
+	return runner.CellSeed(base, stream, index)
+}

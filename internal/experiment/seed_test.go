@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/runner"
+)
+
+// TestDerivedSeedsNeverCollide is the regression test for the additive
+// replica-seed bug: under the old derivation (Seed + replica), replica r
+// of base seed S equalled replica 0 of base seed S+r, so confidence
+// intervals averaged perfectly correlated "independent" replicas.  The
+// CellSeed derivation must give every (base, stream, index) triple a
+// distinct seed — distinct across indices, across streams, across base
+// seeds, and distinct from every raw base seed (which sim.Run consumes
+// directly for arrivals).
+func TestDerivedSeedsNeverCollide(t *testing.T) {
+	streams := []uint64{seedStreamReplica, seedStreamSynthetic, seedStreamChannelA, seedStreamChannelB}
+	seen := make(map[uint64]string)
+	record := func(seed uint64, what string) {
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("seed collision: %s and %s both derive %#x", prev, what, seed)
+		}
+		seen[seed] = what
+	}
+	for base := uint64(0); base < 64; base++ {
+		record(base, "raw base seed")
+	}
+	for base := uint64(0); base < 64; base++ {
+		for _, stream := range streams {
+			for index := uint64(0); index < 64; index++ {
+				record(deriveSeed(base, stream, index), "derived seed")
+			}
+		}
+	}
+}
+
+// TestReplicaSeedIndependentOfBaseOffset pins the exact shape of the old
+// bug: replica r at base S must not equal replica 0 at base S+r.
+func TestReplicaSeedIndependentOfBaseOffset(t *testing.T) {
+	for base := uint64(1); base < 32; base++ {
+		for r := uint64(1); r < 32; r++ {
+			a := deriveSeed(base, seedStreamReplica, r)
+			b := deriveSeed(base+r, seedStreamReplica, 0)
+			if a == b {
+				t.Fatalf("replica %d of base %d collides with replica 0 of base %d (seed %#x)",
+					r, base, base+r, a)
+			}
+		}
+	}
+}
+
+// TestDeriveSeedMatchesCellSeed pins the helper to the runner derivation:
+// one convention, one implementation.
+func TestDeriveSeedMatchesCellSeed(t *testing.T) {
+	if got, want := deriveSeed(7, seedStreamReplica, 3), runner.CellSeed(7, seedStreamReplica, 3); got != want {
+		t.Fatalf("deriveSeed = %#x, runner.CellSeed = %#x", got, want)
+	}
+}
+
+// TestMeanStd pins the replica aggregation math.
+func TestMeanStd(t *testing.T) {
+	cases := []struct {
+		name      string
+		samples   []float64
+		mean, std float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{0.25}, 0.25, 0},
+		{"pair", []float64{0.2, 0.4}, 0.3, 0.1},
+		{"constant", []float64{0.5, 0.5, 0.5}, 0.5, 0},
+		{"triple", []float64{0, 0.3, 0.6}, 0.3, math.Sqrt(0.06)},
+	}
+	for _, tc := range cases {
+		mean, std := meanStd(tc.samples)
+		if math.Abs(mean-tc.mean) > 1e-12 || math.Abs(std-tc.std) > 1e-12 {
+			t.Errorf("%s: meanStd = (%g, %g), want (%g, %g)", tc.name, mean, std, tc.mean, tc.std)
+		}
+	}
+}
+
+// TestMissRatioReplicasIndependentOfParallelism runs the replicated
+// figure-5 sweep serially and on 8 workers: the replica samples must be
+// re-grouped in canonical order before aggregation, so mean and stddev
+// are byte-identical at every parallelism degree.
+func TestMissRatioReplicasIndependentOfParallelism(t *testing.T) {
+	run := func(parallel int) []MissRow {
+		rows, err := MissRatio(MissOptions{
+			Seed:      3,
+			Quick:     true,
+			Minislots: []int{25},
+			Replicas:  3,
+			Parallel:  parallel,
+		})
+		if err != nil {
+			t.Fatalf("MissRatio(parallel=%d): %v", parallel, err)
+		}
+		return rows
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) == 0 {
+		t.Fatal("no rows")
+	}
+	if got, want := MissTable(parallel).String(), MissTable(serial).String(); got != want {
+		t.Fatalf("replica aggregation depends on parallelism:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	for _, r := range serial {
+		if r.Replicas != 3 {
+			t.Fatalf("row reports %d replicas, want 3", r.Replicas)
+		}
+	}
+}

@@ -43,7 +43,7 @@ func Synthesis(opts SynthesisOptions) ([]SynthesisRow, error) {
 	}
 	syn, err := workload.Synthetic(workload.SyntheticOptions{
 		Messages: opts.SyntheticMessages,
-		Seed:     opts.Seed + 7,
+		Seed:     deriveSeed(opts.Seed, seedStreamSynthetic, uint64(opts.SyntheticMessages)),
 	})
 	if err != nil {
 		return nil, err

@@ -119,16 +119,18 @@ var criticalScope = map[string][]string{
 	"mapiter": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
-		"internal/serve", "internal/serve/journal",
+		"internal/serve", "internal/serve/journal", "internal/corpus",
 	},
 	// The durability layer (internal/serve/journal) is listed explicitly:
 	// suffix matching does not descend into subpackages, and journal
 	// replay must be a pure function of the bytes on disk — no wall-clock
-	// reads, no map-order leaks into record sequences.
+	// reads, no map-order leaks into record sequences.  internal/corpus
+	// is in scope for the same reason: corpus generation and the golden
+	// store must be pure functions of the corpus seed.
 	"wallclock": {
 		"internal/sim", "internal/runner", "internal/experiment",
 		"internal/scenario", "internal/fault", "internal/core",
-		"internal/serve", "internal/serve/journal",
+		"internal/serve", "internal/serve/journal", "internal/corpus",
 	},
 	"goroutineleak": {"internal/runner", "internal/sim", "internal/serve", "internal/serve/journal"},
 	"errdrop":       nil, // whole repository
