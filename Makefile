@@ -9,11 +9,22 @@ vet:
 
 # Static analysis: go vet plus the repo's own analyzer suite
 # (cmd/coefficientlint), which enforces the determinism and
-# error-handling contracts from DESIGN.md §9.  staticcheck runs too when
-# it is on PATH; STATICCHECK_VERSION pins the release CI should install.
+# error-handling contracts from DESIGN.md §9/§14.  staticcheck runs too
+# when it is on PATH; STATICCHECK_VERSION pins the release CI should
+# install.  The coefficientlint run is wall-clock budgeted: the
+# interprocedural passes (call graph + taint fixpoint) must stay fast
+# enough that the full suite never becomes the long pole of CI.
 STATICCHECK_VERSION ?= 2024.1.1
+LINT_BUDGET_SECONDS ?= 60
 lint: vet
-	$(GO) run ./cmd/coefficientlint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/coefficientlint ./... || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "coefficientlint: clean in $${elapsed}s (budget $(LINT_BUDGET_SECONDS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "coefficientlint exceeded the $(LINT_BUDGET_SECONDS)s wall-clock budget" >&2; \
+		exit 1; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -26,8 +37,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test execution order within each package, so
+# accidental inter-test state dependence fails loudly instead of riding
+# on declaration order.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short fuzz passes over the scenario-DSL parser and the wire-format
 # decoder; FUZZTIME can be raised for deeper runs.

@@ -7,17 +7,21 @@
 //
 // Usage:
 //
-//	coefficientlint [-only mapiter,errdrop] [-list] ./...
+//	coefficientlint [-only mapiter,errdrop] [-json] [-list] ./...
 //
 // Patterns follow the go tool's shape: a directory, or a directory with
-// a trailing /... for the whole subtree.  Exit status is 0 for a clean
-// tree, 1 when diagnostics were reported, 2 on a load or internal
-// error.
+// a trailing /... for the whole subtree.  -json prints one JSON object
+// per diagnostic line ({"file","line","col","analyzer","message"}) for
+// CI annotation tooling.  Exit status is 0 for a clean tree, 1 when
+// diagnostics were reported, 2 on a load or internal error — identical
+// in both output modes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,12 +33,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errOut *os.File) int {
+func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("coefficientlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = fs.Bool("list", false, "list the analyzers and exit")
+		only   = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list   = fs.Bool("list", false, "list the analyzers and exit")
+		asJSON = fs.Bool("json", false, "emit one JSON object per diagnostic line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,10 +84,24 @@ func run(args []string, out, errOut *os.File) int {
 		fmt.Fprintln(errOut, "coefficientlint:", err)
 		return 2
 	}
+	enc := json.NewEncoder(out)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
 			pos.Filename = rel
+		}
+		if *asJSON {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     filepath.ToSlash(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(errOut, "coefficientlint:", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
 	}
@@ -91,6 +110,17 @@ func run(args []string, out, errOut *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the -json line format: one object per finding, the
+// file path slash-separated and module-root-relative so CI annotations
+// resolve on any runner.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // resolvePatterns expands go-style package patterns into the sorted set

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-file module and chdirs into
+// it, so run's FindModuleRoot resolves the fixture instead of this
+// repository.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmplint\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return dir
+}
+
+const cleanSrc = `package main
+
+func main() {}
+`
+
+// badDirectiveSrc carries a malformed suppression (no reason), which is
+// itself a diagnostic — a violation that needs no imports to trigger.
+const badDirectiveSrc = `package main
+
+//lint:allow mapiter
+func main() {}
+`
+
+// TestExitCodes pins the 0/1/2 contract in both output modes.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []string
+		want int
+	}{
+		{"clean", cleanSrc, []string{"./..."}, 0},
+		{"clean-json", cleanSrc, []string{"-json", "./..."}, 0},
+		{"findings", badDirectiveSrc, []string{"./..."}, 1},
+		{"findings-json", badDirectiveSrc, []string{"-json", "./..."}, 1},
+		{"bad-pattern", cleanSrc, []string{"./nosuchdir/..."}, 2},
+		{"bad-flag", cleanSrc, []string{"-nosuchflag"}, 2},
+		{"unknown-analyzer", cleanSrc, []string{"-only", "nosuch", "./..."}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			writeModule(t, c.src)
+			var out, errOut bytes.Buffer
+			if got := run(c.args, &out, &errOut); got != c.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, c.want, out.String(), errOut.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput checks the -json line protocol: one JSON object per
+// diagnostic with file, position, analyzer, and message; nothing else
+// on stdout.
+func TestJSONOutput(t *testing.T) {
+	writeModule(t, badDirectiveSrc)
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-json", "./..."}, &out, &errOut); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", got, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one diagnostic line, got %d:\n%s", len(lines), out.String())
+	}
+	var d jsonDiagnostic
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, lines[0])
+	}
+	if d.File != "main.go" {
+		t.Errorf("file = %q, want main.go (module-root-relative, slash-separated)", d.File)
+	}
+	if d.Line != 3 || d.Col == 0 {
+		t.Errorf("position = %d:%d, want line 3 with a column", d.Line, d.Col)
+	}
+	if d.Analyzer != "lintdirective" {
+		t.Errorf("analyzer = %q, want lintdirective", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "needs a reason") {
+		t.Errorf("message = %q, want the missing-reason explanation", d.Message)
+	}
+}
+
+// TestListIncludesInterprocedural keeps -list honest about the suite:
+// the dataflow analyzers ship alongside the per-file ones.
+func TestListIncludesInterprocedural(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0", got)
+	}
+	for _, name := range []string{"seedtaint", "ctxflow", "detreach", "mapiter"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing %q:\n%s", name, out.String())
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/nm"
 	"github.com/flexray-go/coefficient/internal/reliability"
+	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/scenario"
 	"github.com/flexray-go/coefficient/internal/schedule"
 	"github.com/flexray-go/coefficient/internal/signal"
@@ -331,6 +332,16 @@ func NewSyncTraceSink(dst TraceSink) *SyncTraceSink { return trace.NewSync(dst) 
 // given bit error rate and seed.
 func NewBERInjector(ber float64, seed uint64) (FaultInjector, error) {
 	return fault.NewBERInjector(ber, seed)
+}
+
+// DeriveSeed maps a base seed and a coordinate path to an independent
+// stream seed through the library's splitmix64 derivation.  Use it
+// wherever several seeded components (fault injectors, synthetic
+// workloads, replicas) descend from one user-supplied seed: offset
+// arithmetic like seed+1 gives adjacent bases overlapping streams,
+// while DeriveSeed(seed, k) decorrelates every (seed, k) pair.
+func DeriveSeed(base uint64, coords ...uint64) uint64 {
+	return runner.CellSeed(base, coords...)
 }
 
 // DualChannelBus returns the paper's testbed topology: n nodes attached to

@@ -40,11 +40,11 @@ func main() {
 	fmt.Printf("%-12s  %-12s  %-12s  %-10s  %-10s  %-8s\n",
 		"scheduler", "static lat", "dynamic lat", "misses", "useful bw", "faults")
 	for _, sched := range schedulers {
-		injA, err := coefficient.NewBERInjector(ber, seed+1)
+		injA, err := coefficient.NewBERInjector(ber, coefficient.DeriveSeed(seed, 1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		injB, err := coefficient.NewBERInjector(ber, seed+2)
+		injB, err := coefficient.NewBERInjector(ber, coefficient.DeriveSeed(seed, 2))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -48,6 +48,8 @@ const maxAttempts = 32
 // Generate produces opts.Count validated, compilable cases.  The i-th
 // case of a given seed is always the same case, independent of Count:
 // generation is a pure function of (Seed, index, attempt).
+//
+//lint:deterministic
 func Generate(opts GenOptions) ([]*Case, error) {
 	if opts.Count <= 0 {
 		return nil, fmt.Errorf("%w: count %d", ErrCase, opts.Count)

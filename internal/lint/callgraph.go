@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module aggregates every package of one load into the unit the
+// interprocedural analyzers (seedtaint, ctxflow, detreach) operate on.
+// The per-file analyzers see one package at a time; the dataflow
+// analyzers need the whole call-and-taint picture — a seed derived in
+// internal/experiment flows through internal/runner into internal/sim,
+// and a dropped context in internal/serve matters only because a callee
+// three packages away blocks on it.
+//
+// A Module's packages come from one Loader, so a function declared in a
+// module package is one canonical *types.Func everywhere it is
+// referenced — the property that lets the call graph use object
+// identity for its edges.
+type Module struct {
+	// Pkgs holds the distinct packages in canonical order (sorted by
+	// import path, so the build never depends on load order).
+	Pkgs []*Package
+
+	graph *CallGraph
+	seeds *seedTaintIndex
+}
+
+// NewModule builds the interprocedural unit over pkgs.  Duplicates
+// (the same *Package reached through several LoadDir calls) are kept
+// once; order of the argument slice is irrelevant.
+func NewModule(pkgs []*Package) *Module {
+	seen := make(map[*Package]bool, len(pkgs))
+	uniq := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		if p == nil || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Path < uniq[j].Path })
+	return &Module{Pkgs: uniq}
+}
+
+// Graph returns the module's call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m)
+	}
+	return m.graph
+}
+
+// FuncNode is one declared function (or method) of the module.
+type FuncNode struct {
+	// Fn is the canonical type-checker object.
+	Fn *types.Func
+	// Pkg is the loaded package declaring the function.
+	Pkg *Package
+	// Decl is the declaration, body included.
+	Decl *ast.FuncDecl
+
+	// callees lists every function the body references, deduplicated
+	// and sorted by full name.  References count, not just calls: a
+	// function value handed to HandleFunc or go'd through a closure is
+	// an edge, so reachability over-approximates rather than misses.
+	callees []*types.Func
+	// callers is the reverse adjacency, same ordering discipline.
+	callers []*types.Func
+
+	// unorderedRange locates the first `for range` over a map in the
+	// body that is neither provably order-independent nor vouched for
+	// by a //lint:allow mapiter/detreach directive; NoPos when the body
+	// has none.  detreach treats such a function as a nondeterminism
+	// source.
+	unorderedRange token.Pos
+}
+
+// CallGraph is the module-wide call graph: one node per declared
+// function, edges for every static call or function-value reference.
+// Dynamic dispatch (interface method calls, calls through stored
+// function values) ends at the abstract callee — the graph is
+// deliberately an over-approximation on references and an
+// under-approximation on dynamic targets, which is the right trade for
+// lint: no false negative survives adding a direct call, and indirect
+// plumbing does not drown the reports.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	fns   []*types.Func
+}
+
+// buildCallGraph walks every declared function of every package in
+// canonical order.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range m.Pkgs {
+		allows, _ := directives(pkg)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, dup := g.nodes[fn]; dup {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd}
+				n.callees = collectCallees(pkg, fd)
+				n.unorderedRange = firstUnorderedRange(pkg, fd, allows)
+				g.nodes[fn] = n
+				g.fns = append(g.fns, fn)
+			}
+		}
+	}
+	sort.Slice(g.fns, func(i, j int) bool { return funcLess(g.fns[i], g.fns[j]) })
+	for _, fn := range g.fns {
+		for _, callee := range g.nodes[fn].callees {
+			if cn := g.nodes[callee]; cn != nil {
+				cn.callers = append(cn.callers, fn)
+			}
+		}
+	}
+	// callers accumulated in sorted caller order already (fns is
+	// sorted), so the reverse adjacency is canonical too.
+	return g
+}
+
+// funcLess orders functions by full name, position as tiebreak, so
+// traversal order never depends on map iteration or load order.
+func funcLess(a, b *types.Func) bool {
+	an, bn := a.FullName(), b.FullName()
+	if an != bn {
+		return an < bn
+	}
+	return a.Pos() < b.Pos()
+}
+
+// collectCallees gathers the functions a body references, sorted.
+func collectCallees(pkg *Package, fd *ast.FuncDecl) []*types.Func {
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return funcLess(out[i], out[j]) })
+	return out
+}
+
+// firstUnorderedRange returns the position of the body's first map
+// range that orderIndependentRange cannot prove safe and that no
+// mapiter/detreach allow directive vouches for.
+func firstUnorderedRange(pkg *Package, fd *ast.FuncDecl, allows map[allowKey]bool) token.Pos {
+	first := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if first.IsValid() {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderIndependentRange(pkg.Info, rs) {
+			return true
+		}
+		pos := pkg.Fset.Position(rs.Pos())
+		for _, name := range []string{"mapiter", "detreach"} {
+			if allows[allowKey{file: pos.Filename, line: pos.Line, analyzer: name}] ||
+				allows[allowKey{file: pos.Filename, line: pos.Line - 1, analyzer: name}] {
+				return true
+			}
+		}
+		first = rs.Pos()
+		return false
+	})
+	return first
+}
+
+// Node returns the declaration node for fn, or nil for functions
+// declared outside the module (standard library, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Functions returns every declared function in canonical order.
+func (g *CallGraph) Functions() []*types.Func { return g.fns }
+
+// Callees returns fn's outgoing edges in canonical order (nil for
+// external functions).
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	if n := g.nodes[fn]; n != nil {
+		return n.callees
+	}
+	return nil
+}
+
+// Callers returns fn's incoming edges in canonical order.
+func (g *CallGraph) Callers(fn *types.Func) []*types.Func {
+	if n := g.nodes[fn]; n != nil {
+		return n.callers
+	}
+	return nil
+}
+
+// FindPath runs a breadth-first search from `from` over the call graph
+// and returns the first function for which hit returns a non-empty
+// reason, as the full call path from→…→target plus that reason.  The
+// search visits callees in canonical (sorted) order, so the reported
+// path is the same on every run and on every machine — shortest first,
+// lexicographically earliest among equals.  hit is consulted for
+// `from` itself too.  A nil path means nothing reachable matched.
+func (g *CallGraph) FindPath(from *types.Func, hit func(*types.Func) string) ([]*types.Func, string) {
+	parent := map[*types.Func]*types.Func{from: nil}
+	queue := []*types.Func{from}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if reason := hit(fn); reason != "" {
+			var path []*types.Func
+			for f := fn; f != nil; f = parent[f] {
+				path = append(path, f)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, reason
+		}
+		n := g.nodes[fn]
+		if n == nil {
+			continue
+		}
+		for _, c := range n.callees {
+			if _, visited := parent[c]; visited {
+				continue
+			}
+			parent[c] = fn
+			queue = append(queue, c)
+		}
+	}
+	return nil, ""
+}
+
+// ReachableFrom returns the full names of every function reachable from
+// fn (itself included), sorted — a canonical fingerprint of the
+// traversal used by the order-independence tests.
+func (g *CallGraph) ReachableFrom(fn *types.Func) []string {
+	seen := map[*types.Func]bool{}
+	var walk func(f *types.Func)
+	walk = func(f *types.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, c := range g.Callees(f) {
+			walk(c)
+		}
+	}
+	walk(fn)
+	names := make([]string, 0, len(seen))
+	for f := range seen {
+		names = append(names, f.FullName())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// shortFuncName renders fn for diagnostics: package.Func or
+// (*pkg.Type).Method, directories stripped.
+func shortFuncName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		name := t.String()
+		name = name[strings.LastIndex(name, "/")+1:]
+		return "(" + star + name + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// pathString renders a call path for diagnostics.
+func pathString(path []*types.Func) string {
+	parts := make([]string, len(path))
+	for i, fn := range path {
+		parts[i] = shortFuncName(fn)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// calleeOf resolves a call expression to its static callee, or nil for
+// dynamic calls, conversions and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParams returns the signature's context.Context parameters.
+func ctxParams(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isContextType(p.Type()) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// inTestFile reports whether pos lies in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

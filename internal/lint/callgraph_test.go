@@ -1,0 +1,139 @@
+package lint_test
+
+import (
+	"go/types"
+	"reflect"
+	"testing"
+
+	"github.com/flexray-go/coefficient/internal/lint"
+)
+
+// loadFixture loads one testdata package through a fresh loader.
+func loadFixture(t *testing.T, dir, path string) *lint.Package {
+	t.Helper()
+	pkgs, err := lint.NewLoader().LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	return pkgs[0]
+}
+
+// fixtureFunc resolves a package-level function of the fixture.
+func fixtureFunc(t *testing.T, pkg *lint.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture has no function %s", name)
+	}
+	return fn
+}
+
+// names projects functions onto their bare names for comparison.
+func names(fns []*types.Func) []string {
+	out := make([]string, len(fns))
+	for i, fn := range fns {
+		out[i] = fn.Name()
+	}
+	return out
+}
+
+// TestCallGraphEdges pins the fixture's adjacency: calls and
+// function-value references are edges, deduplicated and sorted.
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/callgraph", "callgraph")
+	g := lint.NewModule([]*lint.Package{pkg}).Graph()
+
+	cases := []struct {
+		fn      string
+		callees []string
+	}{
+		{"A", []string{"B", "C"}},
+		{"B", []string{"D"}},
+		{"C", []string{"D"}},
+		{"D", nil},
+		{"E", []string{"F"}},
+		{"F", []string{"E"}},
+		{"G", []string{"H"}}, // reference, not call
+		{"H", nil},
+	}
+	for _, c := range cases {
+		got := names(g.Callees(fixtureFunc(t, pkg, c.fn)))
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.callees) {
+			t.Errorf("Callees(%s) = %v, want %v", c.fn, got, c.callees)
+		}
+	}
+
+	if got, want := names(g.Callers(fixtureFunc(t, pkg, "D"))), []string{"B", "C"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Callers(D) = %v, want %v", got, want)
+	}
+}
+
+// TestCallGraphCanonicalOrder asserts the graph is independent of the
+// order packages are handed to NewModule: same function list, same
+// adjacency, same BFS paths — the property that keeps every
+// interprocedural diagnostic byte-identical across runs and machines.
+func TestCallGraphCanonicalOrder(t *testing.T) {
+	cg := loadFixture(t, "testdata/src/callgraph", "callgraph")
+	other := loadFixture(t, "testdata/src/ctxflow", "ctxflow")
+
+	forward := lint.NewModule([]*lint.Package{cg, other, cg}) // dup collapses
+	reversed := lint.NewModule([]*lint.Package{other, cg})
+
+	ff, rf := forward.Graph().Functions(), reversed.Graph().Functions()
+	if got, want := names(ff), names(rf); !reflect.DeepEqual(got, want) {
+		t.Fatalf("function order differs by load order:\n%v\n%v", got, want)
+	}
+	for i, fn := range ff {
+		a := forward.Graph().ReachableFrom(fn)
+		b := reversed.Graph().ReachableFrom(rf[i])
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("ReachableFrom(%s) differs by load order: %v vs %v", fn.Name(), a, b)
+		}
+	}
+}
+
+// TestCallGraphFindPath pins deterministic BFS: shortest path first,
+// lexicographically earliest among equals (A→B→D, never A→C→D), and
+// termination on cycles.
+func TestCallGraphFindPath(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/callgraph", "callgraph")
+	g := lint.NewModule([]*lint.Package{pkg}).Graph()
+
+	hitD := func(fn *types.Func) string {
+		if fn.Name() == "D" {
+			return "target"
+		}
+		return ""
+	}
+	path, reason := g.FindPath(fixtureFunc(t, pkg, "A"), hitD)
+	if reason != "target" {
+		t.Fatalf("FindPath reason = %q, want target", reason)
+	}
+	if got, want := names(path), []string{"A", "B", "D"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FindPath(A→D) = %v, want %v (lexicographically earliest shortest path)", got, want)
+	}
+
+	// The E↔F cycle must terminate with no match.
+	if path, _ := g.FindPath(fixtureFunc(t, pkg, "E"), hitD); path != nil {
+		t.Errorf("FindPath(E→D) = %v, want no path", names(path))
+	}
+
+	// ReachableFrom includes the cycle itself, once.
+	if got := g.ReachableFrom(fixtureFunc(t, pkg, "E")); len(got) != 2 {
+		t.Errorf("ReachableFrom(E) = %v, want the two cycle members", got)
+	}
+
+	// FindPath follows reference edges too.
+	path, _ = g.FindPath(fixtureFunc(t, pkg, "G"), func(fn *types.Func) string {
+		if fn.Name() == "H" {
+			return "ref"
+		}
+		return ""
+	})
+	if got, want := names(path), []string{"G", "H"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FindPath(G→H) = %v, want %v", got, want)
+	}
+}

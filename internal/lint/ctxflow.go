@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation: a function that accepts a
+// context.Context is a link in a cancellation chain, and two shapes
+// sever the chain silently.
+//
+//  1. Minting a root context mid-path.  A function with a ctx parameter
+//     that calls context.Background() or context.TODO() discards its
+//     caller's deadline for everything downstream of the fresh root —
+//     the admission timeout in serve.Server stops covering the work it
+//     was supposed to bound.
+//
+//  2. Dropping the context.  A function that accepts a ctx, never
+//     mentions it, and (transitively, over the module call graph)
+//     reaches a blocking or cancellable callee — anything that itself
+//     takes a context, time.Sleep, or a file fsync — runs that callee
+//     outside the caller's cancellation scope.  A ctx parameter that is
+//     unused but also reaches nothing blocking is fine: interface
+//     implementations often accept a ctx they do not need.
+//
+// Sanctioned roots (cmd/ binaries, serve.New's lifecycle context) are
+// excluded by scope, not by suppression: criticalScope keeps ctxflow
+// out of cmd/..., and serve.New takes no ctx parameter so rule 1 does
+// not apply to its context.Background().  Test files are skipped —
+// tests mint root contexts by design.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags functions that drop their context or mint context.Background mid-path",
+}
+
+// The Run hook is attached in init: runCtxFlow reaches the call-graph
+// builder, which consults ByName (and so Suite, and so CtxFlow) to
+// validate //lint:allow directives — a static initialization cycle if
+// written as a literal field.
+func init() { CtxFlow.Run = runCtxFlow }
+
+func runCtxFlow(p *Pass) error {
+	if p.Mod == nil {
+		return nil
+	}
+	g := p.Mod.Graph()
+	for _, f := range p.Files {
+		if inTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := ctxParams(fn)
+			if len(params) == 0 {
+				continue
+			}
+			ctxflowMinted(p, fd, fn)
+			ctxflowDropped(p, g, fd, fn, params)
+		}
+	}
+	return nil
+}
+
+// ctxflowMinted reports rule 1: context.Background()/TODO() inside a
+// function that already has a context to thread.
+func ctxflowMinted(p *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(p.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		if name := callee.Name(); name == "Background" || name == "TODO" {
+			p.Reportf(call.Pos(),
+				"%s has a context parameter but mints context.%s mid-path; thread the caller's ctx instead",
+				shortFuncName(fn), name)
+		}
+		return true
+	})
+}
+
+// ctxflowDropped reports rule 2: a ctx accepted, never used, while a
+// blocking callee is reachable.
+func ctxflowDropped(p *Pass, g *CallGraph, fd *ast.FuncDecl, fn *types.Func, params []*types.Var) {
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !used
+		}
+		obj := p.TypesInfo.Uses[id]
+		for _, pv := range params {
+			if obj == pv {
+				used = true
+			}
+		}
+		return !used
+	})
+	if used {
+		return
+	}
+	path, reason := g.FindPath(fn, func(f *types.Func) string {
+		if f == fn {
+			return ""
+		}
+		return blockingSinkReason(f)
+	})
+	if path == nil {
+		return
+	}
+	p.Reportf(fd.Pos(),
+		"%s accepts a context but never passes it on, and reaches %s via %s; cancellation stops here",
+		shortFuncName(fn), reason, pathString(path))
+}
+
+// blockingSinkReason classifies fn as a blocking/cancellable callee, or
+// returns "".  Any function taking a context.Context counts (it blocks
+// or it would not ask for one), as do bare sleeps and file fsyncs.
+func blockingSinkReason(fn *types.Func) string {
+	if len(ctxParams(fn)) > 0 {
+		return "cancellable callee " + shortFuncName(fn)
+	}
+	switch fn.FullName() {
+	case "time.Sleep":
+		return "time.Sleep"
+	case "(*os.File).Sync":
+		return "file fsync (*os.File).Sync"
+	}
+	return ""
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetReach is interprocedural determinism reachability.  A function
+// annotated
+//
+//	//lint:deterministic
+//
+// in its doc comment promises that its output is a pure function of its
+// inputs — the property behind byte-identical traces, journal replay,
+// and the corpus golden hashes.  The per-file wallclock and mapiter
+// analyzers check each package's own statements; detreach checks the
+// promise transitively: the annotated function must not *reach*, over
+// the module call graph, any nondeterminism source:
+//
+//   - time.Now / Since / Until (wall clock);
+//   - the global math/rand source (draw order depends on scheduling);
+//   - os.Getenv / LookupEnv / Environ (host environment);
+//   - a `for range` over a map that mapiter cannot prove
+//     order-independent (iteration order is randomized per run).
+//
+// A map range vouched for by an existing //lint:allow mapiter (or
+// detreach) directive is honored as a path-breaker: the human already
+// justified it once, and detreach does not re-litigate through every
+// caller.  The diagnostic carries the full call path to the source, so
+// the fix site is visible without re-running anything.
+var DetReach = &Analyzer{
+	Name: "detreach",
+	Doc:  "forbids //lint:deterministic functions from transitively reaching nondeterminism sources",
+}
+
+// Run is attached in init to break the Suite → DetReach → call-graph →
+// ByName → Suite initialization cycle (see CtxFlow).
+func init() { DetReach.Run = runDetReach }
+
+// deterministicMarker is the annotation detreach keys on.
+const deterministicMarker = "//lint:deterministic"
+
+func runDetReach(p *Pass) error {
+	if p.Mod == nil {
+		return nil
+	}
+	g := p.Mod.Graph()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isDeterministicAnnotated(fd) {
+				continue
+			}
+			fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			path, reason := g.FindPath(fn, func(f *types.Func) string {
+				return nondeterminismReason(g, f)
+			})
+			if path == nil {
+				continue
+			}
+			p.Reportf(fd.Pos(),
+				"%s is //lint:deterministic but reaches %s via %s",
+				shortFuncName(fn), reason, pathString(path))
+		}
+	}
+	return nil
+}
+
+// isDeterministicAnnotated reports whether the declaration carries the
+// //lint:deterministic marker in its doc comment.
+func isDeterministicAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, deterministicMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// detreachEnv lists the forbidden os environment readers.
+var detreachEnv = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+// nondeterminismReason classifies fn as a nondeterminism source, or
+// returns "".  Module functions are sources when their own body holds
+// an unvouched-for unordered map range; external functions are judged
+// by name against the wallclock tables and the environment readers.
+func nondeterminismReason(g *CallGraph, fn *types.Func) string {
+	if n := g.Node(fn); n != nil {
+		if n.unorderedRange.IsValid() {
+			pos := n.Pkg.Fset.Position(n.unorderedRange)
+			return "an unordered map range (" + pos.String() + ")"
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Methods (e.g. on an explicit *rand.Rand) are deterministic
+		// given their receiver.
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockTime[fn.Name()] {
+			return "the wall clock (time." + fn.Name() + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		if !wallclockRandOK[fn.Name()] {
+			return "the global random source (" + fn.Pkg().Name() + "." + fn.Name() + ")"
+		}
+	case "os":
+		if detreachEnv[fn.Name()] {
+			return "the host environment (os." + fn.Name() + ")"
+		}
+	}
+	return ""
+}

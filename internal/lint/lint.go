@@ -24,6 +24,20 @@
 //   - goroutineleak: flags goroutines launched without a completion
 //     signal (WaitGroup, done channel, or context).
 //
+// Three further analyzers are interprocedural: they run over a Module —
+// every package of one load sharing a call graph — rather than one
+// package at a time (DESIGN.md §14):
+//
+//   - seedtaint: forbids offset arithmetic (Seed+replica, seed*2+1) on
+//     values tainted as seeds anywhere in the flow; streams derive
+//     through runner.CellSeed and experiment.deriveSeed only.
+//   - ctxflow: a function accepting a context.Context must thread it to
+//     the blocking callees it reaches, not drop it or mint
+//     context.Background() mid-path.
+//   - detreach: functions annotated //lint:deterministic must not
+//     transitively reach time.Now, the global math/rand source,
+//     os.Getenv, or an unordered map range.
+//
 // A diagnostic is suppressed by a directive comment on the offending
 // line, or the line directly above it:
 //
@@ -66,6 +80,13 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's expression and object tables.
 	TypesInfo *types.Info
+	// Mod is the interprocedural unit — the module-wide call graph and
+	// taint state the dataflow analyzers (seedtaint, ctxflow, detreach)
+	// consult.  Per-file analyzers ignore it.
+	Mod *Module
+	// Unit is the loaded package behind Pkg/TypesInfo; module-wide
+	// results are keyed by it.
+	Unit *Package
 	// report collects diagnostics.
 	report func(Diagnostic)
 }
@@ -96,7 +117,7 @@ func (d Diagnostic) String() string {
 
 // Suite returns all analyzers in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{ErrDrop, GoroutineLeak, HotPath, MapIter, Wallclock}
+	return []*Analyzer{CtxFlow, DetReach, ErrDrop, GoroutineLeak, HotPath, MapIter, SeedTaint, Wallclock}
 }
 
 // ByName returns the named analyzer from the suite, or nil.
@@ -141,17 +162,50 @@ var criticalScope = map[string][]string{
 		"internal/sim", "internal/core", "internal/fspec",
 		"internal/node", "internal/trace", "internal/fault",
 	},
+	// seedtaint guards the seed-derivation contract where seeds are
+	// minted and consumed: the derivation core, the experiment grid, the
+	// daemon (retry jitter), corpus generation, and every binary and
+	// example that hands seeds in from the outside (the "/..." entries
+	// match whole subtrees).  internal/sim is deliberately out of scope:
+	// the engine's frozen XOR-salt convention (opts.Seed ^ seedCRC) is
+	// pinned by byte-identical trace goldens and predates the contract.
+	"seedtaint": {
+		"internal/runner", "internal/experiment", "internal/corpus",
+		"internal/serve", "internal/serve/journal",
+		"cmd/...", "examples/...",
+	},
+	// ctxflow covers the cancellation chains: the daemon and its
+	// durability layer, the parallel runner, and the pipelines that call
+	// into them.  cmd/ roots are sanctioned context minters and stay out
+	// of scope.
+	"ctxflow": {
+		"internal/serve", "internal/serve/journal", "internal/runner",
+		"internal/experiment", "internal/corpus", "internal/sim",
+	},
+	// detreach fires only on functions annotated //lint:deterministic,
+	// so it runs everywhere.
+	"detreach": nil,
 }
 
 // Applies reports whether the analyzer runs over the package with the
-// given import path under the default scope.  Test harnesses bypass this
-// and run analyzers directly.
+// given import path under the default scope.  A plain entry matches the
+// package whose import path ends in that suffix; an entry ending in
+// "/..." matches the named directory and everything beneath it
+// ("cmd/..." covers every binary).  Test harnesses bypass this and run
+// analyzers directly.
 func Applies(a *Analyzer, importPath string) bool {
 	suffixes, ok := criticalScope[a.Name]
 	if !ok || len(suffixes) == 0 {
 		return true
 	}
 	for _, s := range suffixes {
+		if base, subtree := strings.CutSuffix(s, "/..."); subtree {
+			if importPath == base || strings.HasSuffix(importPath, "/"+base) ||
+				strings.HasPrefix(importPath, base+"/") || strings.Contains(importPath, "/"+base+"/") {
+				return true
+			}
+			continue
+		}
 		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
 			return true
 		}

@@ -46,6 +46,29 @@ func TestHotPath(t *testing.T) {
 	linttest.Run(t, "testdata/src/hotpath", lint.HotPath)
 }
 
+// TestSeedTaint checks the taint engine's golden cases: the three
+// verbatim PR 8 bug shapes (Seed+replica, Seed+7, seed*2+1) and their
+// interprocedural variants are flagged; blessed derivation, verbatim
+// pass-through, and %-projection are not.
+func TestSeedTaint(t *testing.T) {
+	linttest.Run(t, "testdata/src/seedtaint", lint.SeedTaint)
+}
+
+// TestCtxFlow checks the context-propagation golden cases: dropped
+// deadlines and mid-path context.Background/TODO are flagged; threaded,
+// derived, and harmlessly unused contexts are not.
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxflow", lint.CtxFlow)
+}
+
+// TestDetReach checks determinism reachability: //lint:deterministic
+// functions reaching the wall clock, global rand, the environment, or
+// an unordered map range are flagged; seeded sources, sorted iteration,
+// and vouched-for ranges are not.
+func TestDetReach(t *testing.T) {
+	linttest.Run(t, "testdata/src/detreach", lint.DetReach)
+}
+
 // TestSuite pins the suite's membership: every analyzer is registered
 // and resolvable by name for //lint:allow validation and -only flags.
 func TestSuite(t *testing.T) {
@@ -59,7 +82,10 @@ func TestSuite(t *testing.T) {
 			t.Errorf("ByName(%q) does not round-trip", a.Name)
 		}
 	}
-	for _, want := range []string{"mapiter", "wallclock", "errdrop", "goroutineleak", "hotpath"} {
+	for _, want := range []string{
+		"mapiter", "wallclock", "errdrop", "goroutineleak", "hotpath",
+		"seedtaint", "ctxflow", "detreach",
+	} {
 		if !names[want] {
 			t.Errorf("suite is missing %q", want)
 		}
@@ -108,6 +134,23 @@ func TestApplies(t *testing.T) {
 		{"hotpath", mod + "/internal/node", true},
 		{"hotpath", mod + "/internal/trace", true},
 		{"hotpath", mod + "/internal/plot", false},
+		{"seedtaint", mod + "/internal/runner", true},
+		{"seedtaint", mod + "/internal/experiment", true},
+		{"seedtaint", mod + "/internal/corpus", true},
+		{"seedtaint", mod + "/internal/serve", true},
+		{"seedtaint", mod + "/internal/serve/journal", true},
+		{"seedtaint", mod + "/cmd/coefficientsim", true},   // "cmd/..." covers every binary
+		{"seedtaint", mod + "/examples/brakebywire", true}, // the PR 8 shapes lived here too
+		{"seedtaint", mod + "/internal/sim", false},        // frozen XOR-salt convention, goldens pin it
+		{"seedtaint", mod + "/internal/scenario", false},
+		{"ctxflow", mod + "/internal/serve", true},
+		{"ctxflow", mod + "/internal/serve/journal", true},
+		{"ctxflow", mod + "/internal/runner", true},
+		{"ctxflow", mod + "/internal/corpus", true},
+		{"ctxflow", mod + "/cmd/coefficientserve", false}, // roots mint contexts by design
+		{"detreach", mod + "/internal/sim", true},
+		{"detreach", mod + "/internal/plot", true}, // annotation-gated, so scoped everywhere
+		{"detreach", mod, true},
 	}
 	for _, c := range cases {
 		a := lint.ByName(c.analyzer)

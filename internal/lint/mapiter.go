@@ -46,8 +46,7 @@ func runMapIter(p *Pass) error {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			w := &mapIterWalk{pass: p, key: rangeVarObj(p, rs.Key)}
-			if w.stmts(rs.Body.List) {
+			if orderIndependentRange(p.TypesInfo, rs) {
 				return true
 			}
 			p.Reportf(rs.Pos(),
@@ -59,22 +58,32 @@ func runMapIter(p *Pass) error {
 	return nil
 }
 
+// orderIndependentRange reports whether the body of a map range is
+// provably order-independent under the idiom list above.  Shared with
+// the detreach analyzer, which treats an unprovable map range anywhere
+// in the call graph of a //lint:deterministic function as a
+// nondeterminism source.
+func orderIndependentRange(info *types.Info, rs *ast.RangeStmt) bool {
+	w := &mapIterWalk{info: info, key: rangeVarObj(info, rs.Key)}
+	return w.stmts(rs.Body.List)
+}
+
 // rangeVarObj resolves the object a range variable defines (nil for `_`
 // or a missing variable).
-func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
 	id, ok := e.(*ast.Ident)
 	if !ok || id.Name == "_" {
 		return nil
 	}
-	if obj := p.TypesInfo.Defs[id]; obj != nil {
+	if obj := info.Defs[id]; obj != nil {
 		return obj
 	}
-	return p.TypesInfo.Uses[id]
+	return info.Uses[id]
 }
 
 // mapIterWalk judges whether a loop body is order-independent.
 type mapIterWalk struct {
-	pass *Pass
+	info *types.Info
 	// key is the iteration-key variable; map/slice writes indexed by it
 	// are order-independent because each iteration touches its own slot.
 	key types.Object
@@ -95,7 +104,7 @@ func (w *mapIterWalk) stmt(s ast.Stmt) bool {
 	case *ast.AssignStmt:
 		return w.assign(s)
 	case *ast.IncDecStmt:
-		return isIntegral(w.pass.TypesInfo.TypeOf(s.X))
+		return isIntegral(w.info.TypeOf(s.X))
 	case *ast.ExprStmt:
 		call, ok := s.X.(*ast.CallExpr)
 		return ok && w.isDelete(call)
@@ -140,7 +149,7 @@ func (w *mapIterWalk) assign(s *ast.AssignStmt) bool {
 		// Compound assignment: commutative and associative only for
 		// integer (and bitwise) operations; float += is order-sensitive.
 		for _, lhs := range s.Lhs {
-			if !isIntegral(w.pass.TypesInfo.TypeOf(lhs)) {
+			if !isIntegral(w.info.TypeOf(lhs)) {
 				return false
 			}
 		}
@@ -160,15 +169,15 @@ func (w *mapIterWalk) assign(s *ast.AssignStmt) bool {
 func (w *mapIterWalk) assignPair(lhs, rhs ast.Expr) bool {
 	// Collecting for a later sort: keys = append(keys, k).
 	if call, ok := rhs.(*ast.CallExpr); ok {
-		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && w.pass.TypesInfo.Uses[id] != nil {
-			if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && w.info.Uses[id] != nil {
+			if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
 				return true
 			}
 		}
 	}
 	// Per-key slot writes: m2[k] = v, arr[k] = v.
 	if idx, ok := lhs.(*ast.IndexExpr); ok {
-		return w.key != nil && usesObj(w.pass, idx.Index, w.key)
+		return w.key != nil && usesObj(w.info, idx.Index, w.key)
 	}
 	// Constant flags: found = true, state = 3.
 	if _, ok := lhs.(*ast.Ident); ok {
@@ -188,15 +197,15 @@ func (w *mapIterWalk) isDelete(call *ast.CallExpr) bool {
 	if !ok || id.Name != "delete" {
 		return false
 	}
-	_, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	_, isBuiltin := w.info.Uses[id].(*types.Builtin)
 	return isBuiltin
 }
 
 // usesObj reports whether expr mentions obj.
-func usesObj(p *Pass, expr ast.Expr, obj types.Object) bool {
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
 	found := false
 	ast.Inspect(expr, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
 			found = true
 		}
 		return !found

@@ -15,7 +15,19 @@ const allowPrefix = "//lint:allow"
 // offending line, or the line directly above it, suppresses a
 // diagnostic; a directive without a reason is reported instead of
 // honored, so every suppression carries its justification.
+//
+// The package is its own interprocedural unit: the dataflow analyzers
+// see a single-package Module.  Callers that lint several packages of
+// one load should build a Module over all of them and use RunInModule,
+// so cross-package flows are visible.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunInModule(NewModule([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunInModule is Run with an explicit interprocedural unit: the
+// dataflow analyzers consult mod's call graph and taint state, which
+// may span many packages beyond pkg.
+func RunInModule(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -24,6 +36,8 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Mod:       mod,
+			Unit:      pkg,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -117,6 +131,11 @@ func sortDiagnostics(ds []Diagnostic) {
 // applying the default analyzer scope per import path, and returns all
 // diagnostics in deterministic order.  only restricts the suite to the
 // named analyzers (nil means the full suite).
+//
+// Every directory is loaded before anything is linted: the loaded
+// packages form one Module, so the interprocedural analyzers see the
+// complete call graph even when `only` or the scope map restricts which
+// packages they report on.
 func LintDirs(root string, dirs []string, only []string) ([]Diagnostic, error) {
 	modPath, err := ModulePath(root)
 	if err != nil {
@@ -125,7 +144,13 @@ func LintDirs(root string, dirs []string, only []string) ([]Diagnostic, error) {
 	loader := NewLoader()
 	loader.Root = root
 	loader.ModPath = modPath
-	var all []Diagnostic
+
+	type unit struct {
+		pkg       *Package
+		analyzers []*Analyzer
+	}
+	var units []unit
+	var pkgs []*Package
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -139,20 +164,26 @@ func LintDirs(root string, dirs []string, only []string) ([]Diagnostic, error) {
 		if len(only) > 0 {
 			analyzers = filterAnalyzers(analyzers, only)
 		}
-		if len(analyzers) == 0 {
-			continue
-		}
-		pkgs, err := loader.LoadDir(dir, importPath)
+		loaded, err := loader.LoadDir(dir, importPath)
 		if err != nil {
 			return nil, err
 		}
-		for _, pkg := range pkgs {
-			ds, err := Run(pkg, analyzers)
-			if err != nil {
-				return nil, err
+		for _, pkg := range loaded {
+			pkgs = append(pkgs, pkg)
+			if len(analyzers) > 0 {
+				units = append(units, unit{pkg: pkg, analyzers: analyzers})
 			}
-			all = append(all, ds...)
 		}
+	}
+
+	mod := NewModule(pkgs)
+	var all []Diagnostic
+	for _, u := range units {
+		ds, err := RunInModule(mod, u.pkg, u.analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
 	}
 	sortDiagnostics(all)
 	return all, nil

@@ -1,0 +1,34 @@
+package lint
+
+// SeedTaint reports arithmetic on seed-derived values anywhere in the
+// module.  The check is interprocedural: the module-wide taint engine
+// (taint.go) runs once per Module and caches its findings per package;
+// this analyzer surfaces the cached findings for the package under
+// analysis, so the //lint:allow machinery, scoping, and ordering all
+// work exactly as they do for the per-file analyzers.
+//
+// The bug class: `opts.Seed + replica` hands replica r of base S the
+// stream of replica 0 of base S+r — adjacent experiments share their
+// Monte-Carlo draws and every confidence interval narrows by a lie.
+// PR 8 fixed four such sites by hand; seedtaint makes the shape a
+// build failure.  Derive streams with runner.CellSeed /
+// experiment.deriveSeed / coefficient.DeriveSeed; project bounded
+// draws with %, which deliberately launders the taint.
+var SeedTaint = &Analyzer{
+	Name: "seedtaint",
+	Doc:  "forbids offset arithmetic on seed values; streams derive through runner.CellSeed",
+}
+
+// Run is attached in init to break the Suite → SeedTaint → taint engine
+// → ByName → Suite initialization cycle (see CtxFlow).
+func init() { SeedTaint.Run = runSeedTaint }
+
+func runSeedTaint(p *Pass) error {
+	if p.Mod == nil || p.Unit == nil {
+		return nil
+	}
+	for _, d := range p.Mod.seedTaintIndex().diags[p.Unit] {
+		p.report(d)
+	}
+	return nil
+}

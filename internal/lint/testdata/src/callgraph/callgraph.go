@@ -1,0 +1,22 @@
+// Package callgraph is the call-graph unit-test fixture: a diamond
+// (A→B→D, A→C→D), a two-cycle (E↔F), and a function-value reference
+// (G returns H without calling it).
+package callgraph
+
+func A() { B(); C() }
+
+func B() { D() }
+
+func C() { D() }
+
+func D() {}
+
+func E() { F() }
+
+func F() { E() }
+
+// G references H as a value; the graph counts references as edges so
+// reachability over-approximates rather than misses.
+func G() func() { return H }
+
+func H() {}

@@ -1,0 +1,80 @@
+// Package ctxflow exercises the ctxflow analyzer: functions that drop
+// their context on the way to a blocking callee, or mint a fresh root
+// context mid-path, are flagged; threading, deriving, and harmlessly
+// unused contexts are not.
+package ctxflow
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// work blocks until done or cancelled: a cancellable callee, and the
+// sink the positive cases reach.
+func work(ctx context.Context, n int) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Duration(n)):
+		return nil
+	}
+}
+
+// threads passes its ctx straight down: clean.
+func threads(ctx context.Context) error {
+	return work(ctx, 1)
+}
+
+// derives builds a child context from its own: clean.
+func derives(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	return work(sub, 3)
+}
+
+// mints checks its ctx, then walls the blocking work off behind a fresh
+// root — the caller's deadline stops covering the select.
+func mints(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return work(context.Background(), 1) // want `mints context\.Background mid-path`
+}
+
+// todos is the TODO variant of the same break.
+func todos(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return work(context.TODO(), 1) // want `mints context\.TODO mid-path`
+}
+
+// dropped is the dropped-deadline bug: the sleep runs outside the
+// caller's cancellation scope.
+func dropped(ctx context.Context, d time.Duration) { // want `accepts a context but never passes it on`
+	time.Sleep(d)
+}
+
+// indirect severs the chain two hops above the block: the reachability
+// is transitive over the call graph.
+func indirect(ctx context.Context) error { // want `accepts a context but never passes it on`
+	return helperNoCtx()
+}
+
+// helperNoCtx has no context parameter, so minting a root here is
+// sanctioned (the serve.New shape): not flagged itself.
+func helperNoCtx() error {
+	return work(context.Background(), 2)
+}
+
+// flush fsyncs without consulting the deadline it was handed.
+func flush(ctx context.Context, f *os.File) error { // want `accepts a context but never passes it on`
+	return f.Sync()
+}
+
+// unusedOK satisfies an interface: the ctx is unused, but nothing
+// blocking is reachable, so it stays clean.
+func unusedOK(ctx context.Context, x int) int {
+	return x * 2
+}

@@ -1,0 +1,118 @@
+// Package detreach exercises the detreach analyzer: a function
+// annotated //lint:deterministic must not transitively reach a
+// nondeterminism source — the wall clock, the global math/rand source,
+// the host environment, or an unordered map range — while seeded
+// generators, sorted iteration, and human-vouched ranges stay clean.
+package detreach
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// now reads the wall clock: a source the annotated callers must not
+// reach.
+func now() int64 { return time.Now().UnixNano() }
+
+// env reads the host environment.
+func env() string { return os.Getenv("HOME") }
+
+// first returns an arbitrary element: map order leaks into the result,
+// so the range is an unordered-iteration source.
+func first(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+
+// stamp hides the clock read one hop down.
+func stamp(data []byte) int64 {
+	_ = data
+	return now()
+}
+
+// replay promises determinism but reaches the wall clock through stamp.
+//
+//lint:deterministic
+func replay(data []byte) int64 { // want `is //lint:deterministic but reaches the wall clock`
+	return stamp(data)
+}
+
+// gen promises determinism but draws from the global source directly.
+//
+//lint:deterministic
+func gen(n int) []float64 { // want `reaches the global random source`
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.Float64()
+	}
+	return out
+}
+
+// configured promises determinism but reads the environment.
+//
+//lint:deterministic
+func configured() string { // want `reaches the host environment`
+	return env()
+}
+
+// pick promises determinism but inherits first's unordered range.
+//
+//lint:deterministic
+func pick(m map[string]int) int { // want `reaches an unordered map range`
+	return first(m)
+}
+
+// direct holds the unordered range in its own body: the annotated
+// function itself is consulted, not just its callees.
+//
+//lint:deterministic
+func direct(m map[string]int) int { // want `reaches an unordered map range`
+	for _, v := range m {
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// vouched has an order-dependent range a human already justified; the
+// suppression is honored as a path-breaker.
+func vouched(m map[string]int) int {
+	//lint:allow mapiter order folds into a max, which is commutative
+	for _, v := range m {
+		if v > 100 {
+			return v
+		}
+	}
+	return 0
+}
+
+// usesVouched stays clean: detreach does not re-litigate a vouched-for
+// range through every caller.
+//
+//lint:deterministic
+func usesVouched(m map[string]int) int {
+	return vouched(m)
+}
+
+// seeded is genuinely deterministic: an explicit seeded source, methods
+// on it, and sorted iteration.
+//
+//lint:deterministic
+func seeded(seed int64, m map[string]int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return rng.Float64() * float64(total)
+}

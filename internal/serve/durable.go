@@ -92,6 +92,8 @@ func (s *Server) openDurability() error {
 // are re-enqueued in their original criticality+FIFO order.  Execution
 // is seed-deterministic, so a re-enqueued job reproduces the exact
 // bytes an uninterrupted run would have stored.
+//
+//lint:deterministic
 func (s *Server) recoverRecords(recs []journal.Record) {
 	byID := make(map[string]*Job)
 	var order []*Job // admission order, the deterministic re-enqueue order

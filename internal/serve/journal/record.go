@@ -92,6 +92,8 @@ func EncodeAll(recs []Record) ([]byte, error) {
 // length, a CRC mismatch, or undecodable JSON — because framing cannot
 // be trusted past a corrupt record; everything from that offset on is
 // the caller's to quarantine.
+//
+//lint:deterministic
 func decodeAll(data []byte) (recs []Record, goodLen int) {
 	off := 0
 	for off+frameHeader <= len(data) {

@@ -72,6 +72,8 @@ func (p *RetryPolicy) fill() {
 // BaseBackoff·2^(attempt−1), capped at MaxBackoff, plus a deterministic
 // jitter in [0, backoff/2] derived via the runner's splitmix64 cell-seed
 // mix from (seed, scenario hash, attempt).
+//
+//lint:deterministic
 func (p RetryPolicy) Backoff(seed uint64, hash string, attempt int) time.Duration {
 	if attempt < 1 {
 		attempt = 1

@@ -438,6 +438,8 @@ const stallCycles = 20000
 
 // runCycle simulates one communication cycle — the steady-state loop
 // body the allocation-regression tests measure.
+//
+//lint:deterministic
 func (e *engine) runCycle(cycle int64) {
 	cfg := e.opts.Config
 	now := cfg.CycleStart(cycle)
