@@ -125,6 +125,11 @@ type Scheduler struct {
 
 	// plan holds k_z indexed densely by frame ID (planFor reads it).
 	plan []int
+	// plan0 snapshots the freshly built plan (and plannedRetx0 its Σ k_z)
+	// at Init so ResetReplica can restore it after adaptive replans
+	// without re-running the reliability planner.
+	plan0        []int
+	plannedRetx0 int
 
 	// Channel-A slack machinery (nil when the model is unavailable).
 	analysis *slack.Analysis
@@ -178,17 +183,36 @@ const retxArenaBlock = 64
 
 // retxArena block-allocates retransmission jobs.  Blocks are append-only
 // and never recycled within a run — a job keeps its identity until the run
-// ends — so reuse cannot perturb the deterministic queue order.
+// ends — so reuse cannot perturb the deterministic queue order.  Across
+// replicas the blocks are retained and rewound: ResetReplica truncates
+// them and the next replica's jobs overwrite the old ones in place.
 type retxArena struct {
-	cur []retxJob
+	blocks [][]retxJob
+	cur    int
 }
 
 func (a *retxArena) new() *retxJob {
-	if len(a.cur) == cap(a.cur) {
-		a.cur = make([]retxJob, 0, retxArenaBlock)
+	if a.cur < len(a.blocks) && len(a.blocks[a.cur]) == cap(a.blocks[a.cur]) {
+		a.cur++
 	}
-	a.cur = a.cur[:len(a.cur)+1]
-	return &a.cur[len(a.cur)-1]
+	if a.cur == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]retxJob, 0, retxArenaBlock))
+	}
+	b := a.blocks[a.cur][:len(a.blocks[a.cur])+1]
+	a.blocks[a.cur] = b
+	return &b[len(b)-1]
+}
+
+// rewind truncates every block back to length zero, keeping the backing
+// memory.  Safe only once no job handed out before the rewind is still
+// referenced — ResetReplica empties the queue and index maps first.
+//
+//perf:hotpath
+func (a *retxArena) rewind() {
+	for i := range a.blocks {
+		a.blocks[i] = a.blocks[i][:0]
+	}
+	a.cur = 0
 }
 
 // softCand is one slack-stealing candidate of stealSoft.
@@ -251,8 +275,43 @@ func (s *Scheduler) Init(env *sim.Env) error {
 	if err := s.buildPlan(); err != nil {
 		return fmt.Errorf("core: retransmission plan: %w", err)
 	}
+	s.plan0 = append(s.plan0[:0], s.plan...)
+	s.plannedRetx0 = s.stats.PlannedRetx
 	s.buildSlackModel()
 	s.initAdaptive()
+	return nil
+}
+
+// ResetReplica implements sim.ReplicaResettable: the scheduler returns
+// to its just-Init state without re-running the reliability planner or
+// the slack analysis, both of which are pure functions of the workload
+// and options.  Queues, index maps and the job arena are emptied in
+// place; the plan is restored from the Init snapshot (adaptive replans
+// mutate it); the stealer rewinds over its immutable analysis; adaptive
+// mode rebuilds its controller, which is cheap and not allocation-gated.
+//
+//perf:hotpath
+func (s *Scheduler) ResetReplica() error {
+	copy(s.plan, s.plan0)
+	s.stats = Stats{PlannedRetx: s.plannedRetx0}
+	for i := range s.retx {
+		s.retx[i] = nil
+	}
+	s.retx = s.retx[:0]
+	clear(s.jobs)
+	clear(s.spawned)
+	s.nextSeq = 0
+	s.jobArena.rewind()
+	s.dynHardA, s.dynSoftA = 0, 0
+	s.admittedBacklog = 0
+	if s.stealer != nil {
+		s.stealer.Reset()
+	}
+	if s.opts.Adaptive {
+		s.initAdaptive()
+		s.probeCycles = [2]int64{}
+		s.failoverActive = false
+	}
 	return nil
 }
 
@@ -531,6 +590,9 @@ func (s *Scheduler) stealSoft(ch frame.Channel, now, capacity timebase.Macrotick
 	var best softCand
 	found := false
 	for _, ecu := range s.env.OrderedECUs() {
+		if !ecu.HasDynamicBuffered() {
+			continue
+		}
 		in := ecu.PeekDynamicAny(now)
 		if in == nil || !s.env.Attached(in.Msg.Node, ch) {
 			continue

@@ -126,20 +126,31 @@ func Degradation(opts DegradationOptions) ([]DegradationRow, error) {
 		}},
 	}
 
-	// Each variant cell constructs its own scheduler; set, setup and the
-	// scenario script are shared read-only (every sim.Run compiles its own
-	// scenario runtime from the seed).
+	// The scenario is compiled once — options validated, dispatch tables
+	// and wire timing built — and shared read-only by the three variant
+	// cells; each cell derives its own run state and scheduler, and its
+	// Reset compiles the variant's scenario runtime from the seed.
+	compiled, err := sim.Compile(sim.Options{
+		Config:   setup.Config,
+		Workload: set,
+		BitRate:  setup.BitRate,
+		Scenario: scn,
+		Mode:     sim.Streaming,
+		Duration: horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("degradation: %w", err)
+	}
 	return runner.MapCtx(opts.Ctx, opts.Parallel, len(variants), func(i int) (DegradationRow, error) {
 		v := variants[i]
-		res, err := sim.Run(sim.Options{
-			Config:   setup.Config,
-			Workload: set,
-			BitRate:  setup.BitRate,
-			Seed:     opts.Seed,
-			Scenario: scn,
-			Mode:     sim.Streaming,
-			Duration: horizon,
-		}, v.sched())
+		st, err := compiled.NewState(v.sched())
+		if err != nil {
+			return DegradationRow{}, fmt.Errorf("degradation %s: %w", v.label, err)
+		}
+		if err := st.Reset(sim.ReplicaOptions{Seed: opts.Seed}); err != nil {
+			return DegradationRow{}, fmt.Errorf("degradation %s: %w", v.label, err)
+		}
+		res, err := st.Run()
 		if err != nil {
 			return DegradationRow{}, fmt.Errorf("degradation %s: %w", v.label, err)
 		}

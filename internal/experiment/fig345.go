@@ -6,10 +6,12 @@ import (
 	"math"
 	"time"
 
+	"github.com/flexray-go/coefficient/internal/fault"
 	"github.com/flexray-go/coefficient/internal/metrics"
 	"github.com/flexray-go/coefficient/internal/runner"
 	"github.com/flexray-go/coefficient/internal/signal"
 	"github.com/flexray-go/coefficient/internal/sim"
+	"github.com/flexray-go/coefficient/internal/sim/batch"
 	"github.com/flexray-go/coefficient/internal/workload"
 )
 
@@ -36,6 +38,21 @@ func latencyWorkload(static signal.Set, staticSlots int, seed uint64) (signal.Se
 		return signal.Set{}, err
 	}
 	return workload.Merge(static.Name+"+sae", static, sae)
+}
+
+// latencySetups memoizes LatencySetup per minislot coordinate: one
+// feasibility analysis per dynamic segment size, shared read-only by
+// every sweep cell at that coordinate.
+func latencySetups(set signal.Set, staticSlots int, minislots []int) ([]Setup, error) {
+	setups := make([]Setup, len(minislots))
+	for j, ms := range minislots {
+		setup, err := LatencySetup(set, staticSlots, ms)
+		if err != nil {
+			return nil, err
+		}
+		setups[j] = setup
+	}
+	return setups, nil
 }
 
 // runStreaming runs one streaming simulation.
@@ -110,16 +127,21 @@ func Utilization(opts UtilizationOptions) ([]UtilizationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Cell = (minislots, scheduler); the shared set is read-only, every
-	// cell derives its own setup, scheduler and injectors.
+	// One setup per minislot coordinate, derived up front: LatencySetup
+	// runs a feasibility analysis of the whole static schedule, so
+	// rebuilding it inside every (minislots, scheduler) cell repeated
+	// that work nSched times per coordinate.
+	setups, err := latencySetups(set, latencyStaticSlots, opts.Minislots)
+	if err != nil {
+		return nil, err
+	}
+	// Cell = (minislots, scheduler); the shared set and setups are
+	// read-only, every cell derives its own scheduler and injectors.
 	const nSched = 2
 	cells := len(opts.Minislots) * nSched
 	return runner.MapCtx(opts.Ctx, opts.Parallel, cells, func(i int) (UtilizationRow, error) {
 		ms := opts.Minislots[i/nSched]
-		setup, err := LatencySetup(set, latencyStaticSlots, ms)
-		if err != nil {
-			return UtilizationRow{}, err
-		}
+		setup := setups[i/nSched]
 		sched := schedulers(set, opts.Scenario)[i%nSched]
 		res, err := runStreaming(set, setup, opts.Scenario, sched, opts.Seed, opts.Quick)
 		if err != nil {
@@ -228,6 +250,33 @@ type latencyCell struct {
 // workers, each rebuilding its workload and setup from the options alone.
 func Latency(opts LatencyOptions) ([]LatencyRow, error) {
 	opts.fill()
+	// Workload sets and setups are functions of (workload, minislots)
+	// alone, so they are built once up front — per coordinate, not per
+	// cell — and shared read-only by the sweep.
+	type latencyWork struct {
+		set    signal.Set
+		setups []Setup // parallel to opts.Minislots
+	}
+	works := make(map[string]latencyWork, len(opts.Workloads))
+	msIdx := make(map[int]int, len(opts.Minislots))
+	for j, ms := range opts.Minislots {
+		msIdx[ms] = j
+	}
+	for _, wl := range opts.Workloads {
+		staticSet, staticSlots, err := latencyStaticSet(wl, opts)
+		if err != nil {
+			return nil, err
+		}
+		set, err := latencyWorkload(staticSet, staticSlots, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		setups, err := latencySetups(set, staticSlots, opts.Minislots)
+		if err != nil {
+			return nil, err
+		}
+		works[wl] = latencyWork{set: set, setups: setups}
+	}
 	var cells []latencyCell
 	for _, wl := range opts.Workloads {
 		for _, ms := range opts.Minislots {
@@ -240,18 +289,9 @@ func Latency(opts LatencyOptions) ([]LatencyRow, error) {
 	}
 	return runner.FlatMapCtx(opts.Ctx, opts.Parallel, len(cells), func(i int) ([]LatencyRow, error) {
 		c := cells[i]
-		staticSet, staticSlots, err := latencyStaticSet(c.workload, opts)
-		if err != nil {
-			return nil, err
-		}
-		set, err := latencyWorkload(staticSet, staticSlots, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		setup, err := LatencySetup(set, staticSlots, c.ms)
-		if err != nil {
-			return nil, err
-		}
+		w := works[c.workload]
+		set := w.set
+		setup := w.setups[msIdx[c.ms]]
 		sched := schedulers(set, c.sc)[c.schedIdx]
 		res, err := runStreaming(set, setup, c.sc, sched, opts.Seed, opts.Quick)
 		if err != nil {
@@ -366,77 +406,107 @@ func (o *MissOptions) fill() {
 	}
 }
 
-// missSample is one replica's outcome for one Figure 5 point.
-type missSample struct {
-	scheduler string
-	ratio     float64
-}
-
 // MissRatio reproduces Figure 5: deadline miss ratios on the BBW + SAE
-// workload across dynamic segment sizes and reliability settings.  The
-// replica is the innermost sweep coordinate, so every single simulation
-// is its own cell; replica samples are re-grouped in canonical order
-// before aggregation, keeping mean and stddev independent of the
-// parallelism degree.
+// workload across dynamic segment sizes and reliability settings.  Each
+// (minislots, scenario, scheduler) point is one batch.Spec whose seeds
+// are the derived replica seeds: the pool compiles the point's scenario
+// once (shared across schedulers via the minislots CompileKey), runs all
+// replicas of a point back to back on one reused run state, and returns
+// results in canonical spec-major order, keeping mean and stddev
+// independent of the parallelism degree — and byte-identical to the old
+// one-engine-per-replica sweep, which the differential tests pin.
 func MissRatio(opts MissOptions) ([]MissRow, error) {
 	opts.fill()
 	set, err := latencyWorkload(workload.BBW(), latencyStaticSlots, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	type missCell struct {
-		ms       int
-		sc       Scenario
-		schedIdx int
-		replica  int
-	}
-	var cells []missCell
-	for _, ms := range opts.Minislots {
-		for _, sc := range opts.Scenarios {
-			for schedIdx := 0; schedIdx < 2; schedIdx++ {
-				for r := 0; r < opts.Replicas; r++ {
-					cells = append(cells, missCell{ms: ms, sc: sc, schedIdx: schedIdx, replica: r})
-				}
-			}
-		}
-	}
-	samples, err := runner.MapCtx(opts.Ctx, opts.Parallel, len(cells), func(i int) (missSample, error) {
-		c := cells[i]
-		setup, err := LatencySetup(set, latencyStaticSlots, c.ms)
-		if err != nil {
-			return missSample{}, err
-		}
-		seed := deriveSeed(opts.Seed, seedStreamReplica, uint64(c.replica))
-		sched := schedulers(set, c.sc)[c.schedIdx]
-		res, err := runStreaming(set, setup, c.sc, sched, seed, opts.Quick)
-		if err != nil {
-			return missSample{}, fmt.Errorf("fig5 %d/%s: %w", c.ms, c.sc.Label, err)
-		}
-		return missSample{scheduler: res.Scheduler, ratio: res.Report.OverallMissRatio()}, nil
-	})
+	// One setup (feasibility analysis + bit-rate derivation) per
+	// minislot coordinate, not per cell.
+	setups, err := latencySetups(set, latencyStaticSlots, opts.Minislots)
 	if err != nil {
 		return nil, err
 	}
-	// Consecutive groups of Replicas samples form one row, in cell order.
-	var rows []MissRow
-	for start := 0; start < len(samples); start += opts.Replicas {
-		group := samples[start : start+opts.Replicas]
+	seeds := make([]uint64, opts.Replicas)
+	for r := range seeds {
+		seeds[r] = deriveSeed(opts.Seed, seedStreamReplica, uint64(r))
+	}
+	type missPoint struct {
+		ms       int
+		sc       Scenario
+		schedIdx int
+	}
+	var points []missPoint
+	var specs []batch.Spec
+	for j, ms := range opts.Minislots {
+		setup := setups[j]
+		for _, sc := range opts.Scenarios {
+			for schedIdx := 0; schedIdx < 2; schedIdx++ {
+				sc, schedIdx := sc, schedIdx
+				points = append(points, missPoint{ms: ms, sc: sc, schedIdx: schedIdx})
+				specs = append(specs, batch.Spec{
+					Options: sim.Options{
+						Config:   setup.Config,
+						Workload: set,
+						BitRate:  setup.BitRate,
+						Mode:     sim.Streaming,
+						Duration: streamDuration(opts.Quick),
+					},
+					CompileKey: ms,
+					NewScheduler: func() (sim.Scheduler, error) {
+						return schedulers(set, sc)[schedIdx], nil
+					},
+					Seeds:   seeds,
+					Replica: scenarioReplica(sc),
+				})
+			}
+		}
+	}
+	groups, err := batch.Run(opts.Ctx, opts.Parallel, specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	rows := make([]MissRow, 0, len(points))
+	for p, point := range points {
+		group := groups[p]
 		vals := make([]float64, len(group))
-		for i, s := range group {
-			vals[i] = s.ratio
+		for r, res := range group {
+			vals[r] = res.Report.OverallMissRatio()
 		}
 		mean, std := meanStd(vals)
-		c := cells[start]
 		rows = append(rows, MissRow{
-			Minislots: c.ms,
-			Scenario:  c.sc.Label,
-			Scheduler: group[len(group)-1].scheduler,
+			Minislots: point.ms,
+			Scenario:  point.sc.Label,
+			Scheduler: group[len(group)-1].Scheduler,
 			MissRatio: mean,
 			StdDev:    std,
 			Replicas:  opts.Replicas,
 		})
 	}
 	return rows, nil
+}
+
+// scenarioReplica builds a batch.Spec per-replica hook for a scenario:
+// channel injectors seeded from the replica seed's channel streams,
+// reusing the previous replica's BER injectors via Reseed when their
+// rate matches — Reseed(s) is contractually indistinguishable from a
+// fresh NewBERInjector(ber, s), but keeps the memoized per-frame-size
+// failure probabilities warm across replicas.
+func scenarioReplica(sc Scenario) func(i int, seed uint64, prevA, prevB fault.Injector) (sim.ReplicaOptions, error) {
+	return func(_ int, seed uint64, prevA, prevB fault.Injector) (sim.ReplicaOptions, error) {
+		a, okA := prevA.(*fault.BERInjector)
+		b, okB := prevB.(*fault.BERInjector)
+		if okA && okB && a.BER() == sc.BER && b.BER() == sc.BER {
+			a.Reseed(deriveSeed(seed, seedStreamChannelA, 0))
+			b.Reseed(deriveSeed(seed, seedStreamChannelB, 0))
+			return sim.ReplicaOptions{Seed: seed, InjectorA: a, InjectorB: b}, nil
+		}
+		injA, injB, err := injectors(sc, seed)
+		if err != nil {
+			return sim.ReplicaOptions{}, err
+		}
+		return sim.ReplicaOptions{Seed: seed, InjectorA: injA, InjectorB: injB}, nil
+	}
 }
 
 // meanStd returns the mean and population standard deviation.

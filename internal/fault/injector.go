@@ -82,6 +82,17 @@ type Injector interface {
 	Stats() Stats
 }
 
+// Reseeder is implemented by injectors that can be returned to their
+// just-constructed state under a new seed without reallocating.  After
+// Reseed(s) the injector's draw stream and statistics are
+// indistinguishable from a freshly constructed injector with the same
+// configuration and seed s; memoized failure-probability caches are
+// retained, which is exactly why batched replica runs prefer reseeding
+// an existing injector over building a new one per replica.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
 // Stats summarizes an injector's history.
 type Stats struct {
 	// Transmissions is the total number of transmissions examined.
@@ -146,6 +157,18 @@ func (b *BERInjector) Stats() Stats {
 
 // BER returns the configured bit error rate.
 func (b *BERInjector) BER() float64 { return b.ber }
+
+// Reseed implements Reseeder: statistics reset, RNG re-seeded in place,
+// probability cache retained (cached values are the exact floats
+// FrameFailureProb returns, so retention cannot perturb the draws).
+func (b *BERInjector) Reseed(seed uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rng.Seed(seed)
+	b.stats = Stats{}
+}
+
+var _ Reseeder = (*BERInjector)(nil)
 
 // GilbertElliott is a two-state burst-fault injector: in the Good state bits
 // fail at BERGood, in the Bad state at BERBad; the channel flips between
@@ -228,6 +251,19 @@ func (g *GilbertElliott) InBadState() bool {
 	return g.bad
 }
 
+// Reseed implements Reseeder: back to the Good state with fresh
+// statistics and an in-place re-seeded RNG; both per-state probability
+// caches are retained.
+func (g *GilbertElliott) Reseed(seed uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rng.Seed(seed)
+	g.bad = false
+	g.stats = Stats{}
+}
+
+var _ Reseeder = (*GilbertElliott)(nil)
+
 // None is an injector that never corrupts anything (a fault-free bus).
 type None struct {
 	mu    sync.Mutex
@@ -250,3 +286,13 @@ func (n *None) Stats() Stats {
 	defer n.mu.Unlock()
 	return n.stats
 }
+
+// Reseed implements Reseeder.  A fault-free bus has no random state;
+// only the transmission counter is cleared.
+func (n *None) Reseed(uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+var _ Reseeder = (*None)(nil)

@@ -24,6 +24,17 @@ type RNG struct {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator in place, exactly as NewRNG(seed)
+// would: the draw stream after Seed(s) is identical to a fresh
+// generator's.  In-place reseeding is what lets batched replica runs
+// reuse one generator per state instead of allocating one per replica.
+//
+//perf:hotpath
+func (r *RNG) Seed(seed uint64) {
 	// splitmix64 seeding, as recommended by the xoshiro authors.
 	x := seed
 	for i := range r.s {
@@ -33,7 +44,6 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ z>>27) * 0x94D049BB133111EB
 		r.s[i] = z ^ z>>31
 	}
-	return r
 }
 
 // Uint64 returns the next 64 random bits.

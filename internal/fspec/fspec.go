@@ -92,6 +92,17 @@ func (s *Scheduler) CycleStart(int64, timebase.Macrotick) {
 	clear(s.lastDynamic)
 }
 
+// ResetReplica implements sim.ReplicaResettable.  FSPEC keeps no
+// cross-cycle state beyond the per-cycle duplication tables, which are
+// cleared in place.
+//
+//perf:hotpath
+func (s *Scheduler) ResetReplica() error {
+	clear(s.lastStatic)
+	clear(s.lastDynamic)
+	return nil
+}
+
 // emit fills the scratch transmission and returns it.
 //
 //perf:hotpath

@@ -29,6 +29,16 @@ func (s *Series) Add(v float64) {
 	s.sum += v
 }
 
+// Reset empties the series in place, keeping the sample buffer so the
+// next run's appends reuse it instead of re-growing.
+//
+//perf:hotpath
+func (s *Series) Reset() {
+	s.samples = s.samples[:0]
+	s.sorted = false
+	s.sum = 0
+}
+
 // N returns the number of samples.
 func (s *Series) N() int { return len(s.samples) }
 
@@ -343,6 +353,37 @@ func NewCollector(cfg timebase.Config) *Collector {
 	c.latency[Static] = &Series{}
 	c.latency[Dynamic] = &Series{}
 	return c
+}
+
+// Reset returns the collector to its just-constructed state while
+// keeping every buffer: the latency and per-frame series are truncated
+// in place and all counters zeroed.  The AdaptiveGauges and SyncGauges
+// values are cleared without moving, so the pointers handed out by
+// Adaptive and SyncHealth stay valid across replicas.
+//
+//perf:hotpath
+func (c *Collector) Reset() {
+	c.latency[Static].Reset()
+	c.latency[Dynamic].Reset()
+	for _, s := range c.perFrame {
+		if s != nil {
+			s.Reset()
+		}
+	}
+	for kind := range c.delivered {
+		c.delivered[kind] = 0
+		c.missed[kind] = 0
+		c.dropped[kind] = 0
+	}
+	c.busyMT = 0
+	c.rawBusyMT = 0
+	c.channelMT = 0
+	c.payloadBits = 0
+	c.retransmissions = 0
+	c.faults = 0
+	c.makespan = 0
+	c.adaptive = AdaptiveGauges{}
+	c.sync = SyncGauges{}
 }
 
 // Delivered records a successful delivery: release-to-completion latency and

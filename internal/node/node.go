@@ -66,8 +66,11 @@ type ECU struct {
 	// map key.
 	staticBufs [][]*Instance
 	owned      []bool
-	// staticIDs lists owned static frame IDs in ascending order.
-	staticIDs []int
+	// staticIDs lists owned static frame IDs in ascending order;
+	// staticCount tracks the total instances buffered across them so the
+	// per-cycle expiry sweep can skip ECUs with nothing queued.
+	staticIDs   []int
+	staticCount int
 	// dynStreams holds one FIFO buffer per aperiodic message, sorted by
 	// (priority, frame ID); dynByID indexes the streams densely by frame
 	// ID and dynCount tracks the total buffered instances.  Splitting the
@@ -128,6 +131,35 @@ func (e *ECU) SetCapacities(staticCap, dynCap int) {
 	e.dynCap = dynCap
 }
 
+// Reset empties every CHI buffer and returns the CC to power-on state,
+// keeping all backing memory: buffers are truncated (instance pointers
+// niled for the GC), the per-message dynamic streams survive empty, and
+// the slot counters return to 1.  Retained empty streams are invisible
+// to the peek paths, so a reset ECU behaves exactly like a fresh
+// NewECU with the same ownership — this is the per-replica rewind of
+// the batched Monte-Carlo engine (DESIGN.md §15).
+//
+//perf:hotpath
+func (e *ECU) Reset() {
+	for _, fid := range e.staticIDs {
+		buf := e.staticBufs[fid]
+		for i := range buf {
+			buf[i] = nil
+		}
+		e.staticBufs[fid] = buf[:0]
+	}
+	for _, st := range e.dynStreams {
+		for i := range st.buf {
+			st.buf[i] = nil
+		}
+		st.buf = st.buf[:0]
+	}
+	e.dynCount = 0
+	e.staticCount = 0
+	e.slotCounter[0] = 1
+	e.slotCounter[1] = 1
+}
+
 // ResetSlotCounters sets both channels' slot counters back to 1, as the CC
 // does at the start of each communication cycle.
 //
@@ -182,6 +214,7 @@ func (e *ECU) EnqueueStatic(in *Instance) error {
 		return fmt.Errorf("%w: static buffer %d at %d", ErrBufferFull, in.Msg.ID, e.staticCap)
 	}
 	e.staticBufs[in.Msg.ID] = append(buf, in)
+	e.staticCount++
 	return nil
 }
 
@@ -255,6 +288,7 @@ func (e *ECU) PopStatic(frameID int, t timebase.Macrotick) *Instance {
 			return nil
 		}
 		e.staticBufs[frameID] = removeAt(buf, i)
+		e.staticCount--
 		return in
 	}
 	return nil
@@ -279,6 +313,7 @@ func (e *ECU) RemoveStatic(target *Instance) bool {
 	for i, in := range buf {
 		if in == target {
 			e.staticBufs[target.Msg.ID] = removeAt(buf, i)
+			e.staticCount--
 			return true
 		}
 	}
@@ -296,12 +331,16 @@ func (e *ECU) RequeueStatic(in *Instance) error {
 	copy(buf[1:], buf)
 	buf[0] = in
 	e.staticBufs[in.Msg.ID] = buf
+	e.staticCount++
 	return nil
 }
 
 // StaticBacklog returns the number of pending static instances across all
 // owned frame IDs at time t.
 func (e *ECU) StaticBacklog(t timebase.Macrotick) int {
+	if e.staticCount == 0 {
+		return 0
+	}
 	n := 0
 	for _, fid := range e.staticIDs {
 		for _, in := range e.staticBufs[fid] {
@@ -317,6 +356,9 @@ func (e *ECU) StaticBacklog(t timebase.Macrotick) int {
 // returns them, walking the owned frame IDs in ascending order so
 // same-instant drops always land in the trace in the same sequence.
 func (e *ECU) DropExpiredStatic(t timebase.Macrotick) []*Instance {
+	if e.staticCount == 0 {
+		return nil
+	}
 	var dropped []*Instance
 	for _, fid := range e.staticIDs {
 		buf := e.staticBufs[fid]
@@ -324,6 +366,7 @@ func (e *ECU) DropExpiredStatic(t timebase.Macrotick) []*Instance {
 		for _, in := range buf {
 			if in.Expired(t) {
 				dropped = append(dropped, in)
+				e.staticCount--
 			} else {
 				keep = append(keep, in)
 			}
@@ -427,12 +470,26 @@ func (e *ECU) PeekDynamicFor(frameID int, t timebase.Macrotick) *Instance {
 	return st.head(t)
 }
 
+// HasDynamicBuffered reports whether any dynamic instance is buffered
+// (delivered-but-unremoved instances count).  It is the O(1) guard the
+// per-slot steal scan uses to skip ECUs with nothing to offer — at low
+// aperiodic load most slots see every queue empty, and walking the
+// stream lists anyway dominated the static segment.
+//
+//perf:hotpath
+func (e *ECU) HasDynamicBuffered() bool {
+	return e.dynCount > 0
+}
+
 // PeekDynamicAny returns the highest-priority pending dynamic instance
 // released by t regardless of frame ID (used by slack stealing, which is
 // not bound to the FTDMA slot counter), or nil.
 //
 //perf:hotpath
 func (e *ECU) PeekDynamicAny(t timebase.Macrotick) *Instance {
+	if e.dynCount == 0 {
+		return nil
+	}
 	var best *Instance
 	for _, st := range e.dynStreams {
 		// Streams walk in ascending (priority, ID); once the stream
@@ -502,6 +559,9 @@ func (e *ECU) DynamicBacklog(t timebase.Macrotick) int {
 // and returns them in (priority, frame ID, release, seq) order, which is
 // deterministic across runs.
 func (e *ECU) DropExpiredDynamic(t timebase.Macrotick) []*Instance {
+	if e.dynCount == 0 {
+		return nil
+	}
 	var dropped []*Instance
 	for _, st := range e.dynStreams {
 		// Scan up to the first expired instance before rewriting anything:

@@ -162,6 +162,136 @@ func runCell[T any](ctx context.Context, i int, fn func(i int) (T, error)) (v T,
 	return fn(i)
 }
 
+// MapBatchCtx runs cells grouped into contiguous batches on a worker
+// pool with per-worker reusable state.  Batch b covers the global cells
+// [starts[b], starts[b]+sizes[b]) where starts is the prefix sum of
+// sizes; workers claim whole batches and run a batch's cells in
+// ascending order on a private state S built lazily by newState — the
+// state persists across every batch the worker claims, which is what
+// lets a batched replica sweep reuse one compiled simulation state for
+// hundreds of seeds instead of rebuilding it per cell.
+//
+// The determinism contract extends Map's: fn must produce a result that
+// is a pure function of (batch, i) alone — any state carried between
+// cells must be rewound by fn (e.g. a seeded Reset) so that which worker
+// ran the previous cell on the state cannot leak into this cell's
+// output.  Results are reassembled in global cell order, and the error
+// of the lowest-indexed failing cell wins, as in MapCtx.  A failing cell
+// abandons the remainder of its batch — the shared state may be
+// inconsistent after a panic — which preserves the lowest-index policy
+// because cells within a batch run in ascending order.  A newState
+// failure is attributed to the first cell of the batch the worker was
+// about to run.
+func MapBatchCtx[S, T any](ctx context.Context, parallel int, sizes []int,
+	newState func() (S, error), fn func(state S, batch, i int) (T, error)) ([]T, error) {
+	nb := len(sizes)
+	starts := make([]int, nb)
+	total := 0
+	for b, sz := range sizes {
+		if sz < 0 {
+			return nil, fmt.Errorf("runner: batch %d has negative size %d", b, sz)
+		}
+		starts[b] = total
+		total += sz
+	}
+	if total <= 0 {
+		return nil, nil
+	}
+	out := make([]T, total)
+	workers := Workers(parallel)
+	if workers > nb {
+		workers = nb
+	}
+	// runBatch runs one batch's cells in ascending order, returning the
+	// global index and error of the first failing cell.
+	runBatch := func(state S, b int) (int, error) {
+		for i := 0; i < sizes[b]; i++ {
+			cell := starts[b] + i
+			v, err := runBatchCell(ctx, state, b, i, cell, fn)
+			if err != nil {
+				return cell, err
+			}
+			out[cell] = v
+		}
+		return 0, nil
+	}
+	if workers <= 1 {
+		state, err := newState()
+		if err != nil {
+			return nil, fmt.Errorf("runner: batch state: %w", err)
+		}
+		for b := 0; b < nb; b++ {
+			if _, err := runBatch(state, b); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = total // lowest failing cell index seen so far
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var state S
+			created := false
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				if !created {
+					s, err := newState()
+					if err != nil {
+						fail(starts[b], fmt.Errorf("runner: batch state: %w", err))
+						return
+					}
+					state = s
+					created = true
+				}
+				if cell, err := runBatch(state, b); err != nil {
+					fail(cell, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runBatchCell invokes one batched cell with MapCtx's cancellation check
+// and panic-to-error conversion, reporting under the cell's global index.
+func runBatchCell[S, T any](ctx context.Context, state S, b, i, cell int,
+	fn func(state S, batch, i int) (T, error)) (v T, err error) {
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return v, fmt.Errorf("runner: cell %d cancelled: %w", cell, cerr)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: cell %d panicked: %v\n%s", cell, r, debug.Stack())
+		}
+	}()
+	return fn(state, b, i)
+}
+
 // FlatMap runs fn over n cells like Map and concatenates the per-cell
 // row slices in cell order — the shape every experiment harness needs:
 // one cell may contribute several table rows, and the concatenation

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/flexray-go/coefficient/internal/fault"
+	"github.com/flexray-go/coefficient/internal/frame"
+	"github.com/flexray-go/coefficient/internal/metrics"
+	"github.com/flexray-go/coefficient/internal/node"
+	"github.com/flexray-go/coefficient/internal/timebase"
+	"github.com/flexray-go/coefficient/internal/topology"
+	"github.com/flexray-go/coefficient/internal/trace"
+)
+
+// Compiled is the immutable, replica-independent half of a simulation:
+// validated options with defaults applied, the compiled dispatch tables
+// (slot→message, per-message wire timing, channel attachment) and the
+// resolved pLatestTx — everything that depends only on (config, cluster,
+// workload), not on the seed.  Build it once with Compile, then derive
+// any number of RunStates from it; a Compiled is safe for concurrent use
+// by NewState on multiple goroutines because every field is read-only
+// after Compile returns.
+type Compiled struct {
+	opts Options
+	// proto is the fully compiled prototype environment.  Its dispatch
+	// tables are shared by every state; its ECUs are throwaways that
+	// exist only so compile() ran against a complete Env.
+	proto *Env
+	// staticByNode maps node ID → static frame IDs, for building fresh
+	// per-state ECUs.
+	staticByNode map[int][]int
+}
+
+// Compile validates the options, applies Run's defaults and builds the
+// immutable artifact shared by all replicas.  Per-replica concerns must
+// be left unset: injectors, Recorder and Sink belong to ReplicaOptions
+// (the Seed field is ignored and replaced per replica by Reset).
+func Compile(opts Options) (*Compiled, error) {
+	if opts.InjectorA != nil || opts.InjectorB != nil {
+		return nil, fmt.Errorf("%w: Compile: injectors are per-replica; pass them via ReplicaOptions", ErrBadOptions)
+	}
+	if opts.Recorder != nil || opts.Sink != nil {
+		return nil, fmt.Errorf("%w: Compile: trace sinks are per-replica; pass them via ReplicaOptions", ErrBadOptions)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.BitRate <= 0 {
+		opts.BitRate = frame.DefaultBitRate
+	}
+	if len(opts.Cluster.Nodes) == 0 {
+		opts.Cluster = topology.DualChannelBus(workloadNodes(opts.Workload))
+	}
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 1 << 20
+	}
+	env, staticByNode, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	env.compile()
+	return &Compiled{opts: opts, proto: env, staticByNode: staticByNode}, nil
+}
+
+// Options returns a copy of the compiled options with defaults applied.
+func (c *Compiled) Options() Options { return c.opts }
+
+// ReplicaOptions is the per-replica half of a batched run: the seed and
+// the optional injectors and trace sink.  The caller owns the injectors
+// and is expected to Reseed and reuse one pair across replicas so their
+// memoized probability caches survive (fault.Reseeder); nil injectors
+// mean a fault-free channel.  At most one of Recorder and Sink may be
+// set; both nil discards events.
+type ReplicaOptions struct {
+	// Seed drives every random stream of the replica: arrivals, CRC
+	// outcomes, clock drift and the scenario timeline.
+	Seed uint64
+	// InjectorA and InjectorB inject transient faults per channel.
+	InjectorA, InjectorB fault.Injector
+	// Recorder optionally captures the bus trace.
+	Recorder *trace.Recorder
+	// Sink optionally receives every bus event.
+	Sink trace.Sink
+}
+
+// ReplicaResettable is implemented by schedulers that can rewind to
+// their just-initialized state without reallocating, so a batched run
+// reuses one scheduler across replicas.  After ResetReplica the
+// scheduler must behave exactly as if Init had just returned on the same
+// environment.  Schedulers without it are re-Init-ed per replica.
+type ReplicaResettable interface {
+	ResetReplica() error
+}
+
+// RunState is the mutable half of a simulation: one engine, scheduler
+// and environment reused across replicas.  The cycle is
+//
+//	state, _ := compiled.NewState(sched)
+//	for _, seed := range seeds {
+//	    state.Reset(ReplicaOptions{Seed: seed, ...})
+//	    res, err := state.Run()
+//	}
+//
+// Reset rewinds arenas by truncation, zeroes the CHI buffers and
+// counters and re-seeds every RNG in place, so the steady state of a
+// plain replica loop (no scenario, no timing layer) allocates nothing.
+// A RunState is single-goroutine; run different states concurrently.
+type RunState struct {
+	eng   *engine
+	comp  *Compiled
+	noneA fault.None
+	noneB fault.None
+	// armed flips on Reset and off on Run, so a stale state cannot be
+	// run twice against one replica's seed.
+	armed bool
+}
+
+// NewState builds a fresh mutable run state against the compiled
+// artifact: a new environment sharing the immutable dispatch tables but
+// owning fresh ECUs, a new collector and releaser, and the given
+// scheduler initialized against it.
+func (c *Compiled) NewState(sched Scheduler) (*RunState, error) {
+	p := c.proto
+	env := &Env{
+		Cfg:         p.Cfg,
+		BitRate:     p.BitRate,
+		Set:         p.Set,
+		ECUs:        make(map[int]*node.ECU, len(p.ECUs)),
+		StaticMsgs:  p.StaticMsgs,
+		DynamicMsgs: p.DynamicMsgs,
+		LatestTx:    p.LatestTx,
+		Cluster:     p.Cluster,
+
+		msgByID:       p.msgByID,
+		staticBySlot:  p.staticBySlot,
+		dynamicByID:   p.dynamicByID,
+		durByID:       p.durByID,
+		minislotsByID: p.minislotsByID,
+		wireBitsByID:  p.wireBitsByID,
+		attachedA:     p.attachedA,
+		attachedB:     p.attachedB,
+	}
+	for _, n := range c.opts.Cluster.Nodes {
+		ecu := node.NewECU(n.ID, c.staticByNode[n.ID])
+		ecu.SetCapacities(c.opts.CHIStaticCapacity, c.opts.CHIDynamicCapacity)
+		env.ECUs[n.ID] = ecu
+	}
+	env.ecuByID = make([]*node.ECU, len(p.ecuByID))
+	for id := range env.ecuByID {
+		env.ecuByID[id] = env.ECUs[id]
+	}
+	env.OrderedECUs()
+
+	eng := &engine{
+		opts:     c.opts,
+		sched:    sched,
+		env:      env,
+		col:      metrics.NewCollector(c.opts.Config),
+		sink:     trace.NullSink{},
+		latestTx: p.LatestTx,
+		crcRNG:   fault.NewRNG(0), // re-seeded per replica by Reset
+	}
+	if c.opts.Mode == Streaming {
+		eng.warmup = c.opts.Config.FromDuration(c.opts.Warmup)
+	}
+	env.Trace = eng.sink
+	env.Gauges = eng.col.Adaptive()
+	eng.rel = newReleaser(c.opts, env)
+	eng.rel.overflow = func(in *node.Instance, rel timebase.Macrotick) {
+		eng.dropInstance(in, rel)
+	}
+	if err := sched.Init(env); err != nil {
+		return nil, fmt.Errorf("scheduler init: %w", err)
+	}
+	return &RunState{eng: eng, comp: c}, nil
+}
+
+// Reset rewinds the state to what newEngine would build for this seed:
+// it replays the construction order exactly — sink, injectors, scenario
+// overrides, node watch, CRC RNG, timing layer, CHI buffers, metrics,
+// releaser, scheduler — so the subsequent Run is byte-identical in trace
+// and metrics to an unbatched Run with the same options and seed.
+// Construct-only branches (scenario compile, timing layer) allocate and
+// are outside the alloc-free replica contract; the flagged constructs
+// live in the unmarked helpers below.
+//
+//perf:hotpath
+func (st *RunState) Reset(ro ReplicaOptions) error {
+	eng := st.eng
+	eng.opts.Seed = ro.Seed
+
+	sink, err := resolveSink(ro)
+	if err != nil {
+		return err
+	}
+	eng.sink = sink
+	eng.env.Trace = sink
+
+	injA, injB := ro.InjectorA, ro.InjectorB
+	if injA == nil {
+		st.noneA.Reseed(0)
+		injA = &st.noneA
+	}
+	if injB == nil {
+		st.noneB.Reseed(0)
+		injB = &st.noneB
+	}
+	eng.opts.InjectorA, eng.opts.InjectorB = injA, injB
+
+	eng.scn = nil
+	if eng.opts.Scenario != nil {
+		if err := st.resetScenario(ro.Seed); err != nil {
+			return err
+		}
+	}
+
+	eng.watchedNodes = eng.watchedNodes[:0]
+	eng.nodeDown = nil
+	if len(eng.opts.NodeFailures) > 0 || eng.scn != nil {
+		eng.initNodeWatch()
+	}
+
+	eng.injA, eng.injB = eng.opts.InjectorA, eng.opts.InjectorB
+	eng.tvA, _ = eng.injA.(fault.TimeVarying)
+	eng.tvB, _ = eng.injB.(fault.TimeVarying)
+	eng.liveness = len(eng.opts.NodeFailures) > 0 || eng.scn != nil
+	eng.crcRNG.Seed(ro.Seed ^ seedCRC)
+	st.resetTiming()
+
+	for _, ecu := range eng.env.OrderedECUs() {
+		ecu.Reset()
+	}
+	eng.col.Reset()
+	eng.rel.reset(ro.Seed)
+	eng.total, eng.done = 0, 0
+	if err := st.resetScheduler(); err != nil {
+		return err
+	}
+	st.armed = true
+	return nil
+}
+
+// Run executes the replica armed by the last Reset.
+func (st *RunState) Run() (Result, error) {
+	if !st.armed {
+		return Result{}, errNotArmed
+	}
+	st.armed = false
+	return st.eng.run()
+}
+
+var errNotArmed = fmt.Errorf("%w: RunState.Run without a preceding Reset", ErrBadOptions)
+
+// resolveSink picks the replica's event sink, mirroring newEngine's
+// Recorder/Sink precedence.
+func resolveSink(ro ReplicaOptions) (trace.Sink, error) {
+	if ro.Recorder != nil && ro.Sink != nil {
+		return nil, fmt.Errorf("%w: both Recorder and Sink set", ErrBadOptions)
+	}
+	if ro.Sink != nil {
+		return ro.Sink, nil
+	}
+	if ro.Recorder != nil {
+		return ro.Recorder, nil
+	}
+	return trace.NullSink{}, nil
+}
+
+// resetScenario recompiles the scripted fault timeline for the replica
+// seed and applies its channel-injector overrides, exactly as newEngine
+// does.  Scenario replicas allocate here (a fresh Runtime per seed); the
+// alloc-free contract covers scenario-less runs.
+func (st *RunState) resetScenario(seed uint64) error {
+	eng := st.eng
+	rt, err := eng.opts.Scenario.Compile(eng.opts.Config, seed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	eng.scn = rt
+	if inj := rt.Injector(frame.ChannelA); inj != nil {
+		eng.opts.InjectorA = inj
+	}
+	if inj := rt.Injector(frame.ChannelB); inj != nil {
+		eng.opts.InjectorB = inj
+	}
+	return nil
+}
+
+// resetTiming rebuilds the local-clock layer for the new seed.  The
+// layer's state graph (per-node clocks, POC, guardians) is rebuilt from
+// scratch — timing replicas allocate and are outside the alloc-free
+// contract, like scenario replicas.
+func (st *RunState) resetTiming() {
+	eng := st.eng
+	eng.timing = nil
+	eng.env.Sync = nil
+	if eng.opts.Timing == nil && (eng.scn == nil || !eng.scn.HasTimingFaults()) {
+		return
+	}
+	topts := TimingOptions{}
+	if eng.opts.Timing != nil {
+		topts = *eng.opts.Timing
+	}
+	eng.timing = newTimingState(topts, eng)
+	eng.env.Sync = eng.timing.monitor
+}
+
+// resetScheduler rewinds the scheduler for the next replica: in place
+// when it supports it, by re-running Init otherwise.
+func (st *RunState) resetScheduler() error {
+	eng := st.eng
+	if rr, ok := eng.sched.(ReplicaResettable); ok {
+		if err := rr.ResetReplica(); err != nil {
+			return fmt.Errorf("scheduler reset: %w", err)
+		}
+		return nil
+	}
+	if err := eng.sched.Init(eng.env); err != nil {
+		return fmt.Errorf("scheduler init: %w", err)
+	}
+	return nil
+}

@@ -271,7 +271,11 @@ type engine struct {
 	nodeDown     map[int]bool
 }
 
-func newEngine(opts Options, sched Scheduler) (*engine, error) {
+// buildEnv constructs the environment skeleton shared by newEngine and
+// Compile: the message tables, fresh ECUs with their CHI capacities, and
+// the resolved pLatestTx.  staticByNode maps each node to its static
+// frame IDs, which NewState needs to build per-state ECUs.
+func buildEnv(opts Options) (*Env, map[int][]int, error) {
 	cfg := opts.Config
 	env := &Env{
 		Cfg:         cfg,
@@ -287,7 +291,7 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 	for i := range opts.Workload.Messages {
 		m := &opts.Workload.Messages[i]
 		if _, ok := opts.Cluster.Node(m.Node); !ok {
-			return nil, fmt.Errorf("%w: message %q on unknown node %d",
+			return nil, nil, fmt.Errorf("%w: message %q on unknown node %d",
 				ErrBadOptions, m.Name, m.Node)
 		}
 		switch m.Kind {
@@ -295,7 +299,7 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 			env.StaticMsgs[m.ID] = m
 			staticByNode[m.Node] = append(staticByNode[m.Node], m.ID)
 			if !envFits(env, m) {
-				return nil, fmt.Errorf("%w: static message %q (%d bits) does not fit a %d-macrotick slot at %d bit/s",
+				return nil, nil, fmt.Errorf("%w: static message %q (%d bits) does not fit a %d-macrotick slot at %d bit/s",
 					ErrBadOptions, m.Name, m.Bits, cfg.StaticSlotLen, opts.BitRate)
 			}
 		case signal.Aperiodic:
@@ -315,6 +319,16 @@ func newEngine(opts Options, sched Scheduler) (*engine, error) {
 		lt = cfg.DeriveLatestTx(maxDyn)
 	}
 	env.LatestTx = lt
+	return env, staticByNode, nil
+}
+
+func newEngine(opts Options, sched Scheduler) (*engine, error) {
+	cfg := opts.Config
+	env, _, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	lt := env.LatestTx
 
 	sink := opts.Sink
 	if sink == nil {

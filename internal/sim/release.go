@@ -37,17 +37,38 @@ const arenaBlock = 256
 // instanceArena hands out instances from append-only blocks.  Unlike a
 // sync.Pool, memory is never recycled within a run — every instance
 // keeps its identity until the run ends — so reuse cannot perturb the
-// deterministic event order (DESIGN.md §8).
+// deterministic event order (DESIGN.md §8).  Blocks are retained across
+// rewinds: a batched replica run truncates them back to length zero and
+// replica r+1 overwrites replica r's instances in place, so the steady
+// state allocates nothing (DESIGN.md §15).
 type instanceArena struct {
-	cur []node.Instance
+	blocks [][]node.Instance
+	cur    int
 }
 
 func (a *instanceArena) new() *node.Instance {
-	if len(a.cur) == cap(a.cur) {
-		a.cur = make([]node.Instance, 0, arenaBlock)
+	if a.cur < len(a.blocks) && len(a.blocks[a.cur]) == cap(a.blocks[a.cur]) {
+		a.cur++
 	}
-	a.cur = a.cur[:len(a.cur)+1]
-	return &a.cur[len(a.cur)-1]
+	if a.cur == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]node.Instance, 0, arenaBlock))
+	}
+	b := a.blocks[a.cur][:len(a.blocks[a.cur])+1]
+	a.blocks[a.cur] = b
+	return &b[len(b)-1]
+}
+
+// rewind truncates every block back to length zero, keeping the backing
+// memory.  Callers must guarantee no instance handed out before the
+// rewind is still referenced — the engine's Reset clears every CHI
+// buffer and scheduler queue first.
+//
+//perf:hotpath
+func (a *instanceArena) rewind() {
+	for i := range a.blocks {
+		a.blocks[i] = a.blocks[i][:0]
+	}
+	a.cur = 0
 }
 
 // stream tracks the next release of one message.
@@ -65,9 +86,14 @@ type stream struct {
 	jittered bool
 }
 
+// relSeedSalt decorrelates the releaser's RNG stream from the seed's
+// other consumers (CRC, clock drift, injectors).  Frozen: changing it
+// moves every sporadic release phase and breaks trace goldens.
+const relSeedSalt uint64 = 0xF1E2D3C4B5A69788
+
 func newReleaser(opts Options, env *Env) *releaser {
 	r := &releaser{opts: opts, env: env}
-	rng := fault.NewRNG(opts.Seed ^ 0xF1E2D3C4B5A69788)
+	rng := fault.NewRNG(opts.Seed ^ relSeedSalt)
 	r.rng = rng.Fork()
 	cfg := opts.Config
 	for i := range opts.Workload.Messages {
@@ -94,6 +120,29 @@ func newReleaser(opts Options, env *Env) *releaser {
 		r.streams = append(r.streams, s)
 	}
 	return r
+}
+
+// reset rewinds the releaser to the state newReleaser would build for
+// the given seed, without reallocating streams or arena blocks.  The
+// draw protocol replays construction exactly: the parent RNG's first
+// Uint64 seeds the jitter child (Fork), then sporadic phases are drawn
+// from the parent in message order — so the release schedule is
+// byte-identical to a fresh releaser's.
+//
+//perf:hotpath
+func (r *releaser) reset(seed uint64) {
+	r.opts.Seed = seed
+	var parent fault.RNG
+	parent.Seed(seed ^ relSeedSalt)
+	r.rng.Seed(parent.Uint64())
+	for _, s := range r.streams {
+		if s.msg.Kind == signal.Aperiodic {
+			s.offset = timebase.Macrotick(parent.Intn(int(s.period)))
+		}
+		s.next = s.offset
+		s.seq = 1
+	}
+	r.arena.rewind()
 }
 
 // enqueueCycle releases, for streaming runs, every instance whose release

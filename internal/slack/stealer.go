@@ -83,6 +83,32 @@ func NewStealer(a *Analysis) *Stealer {
 	return st
 }
 
+// Reset rewinds the stealer to time zero, as NewStealer over the same
+// analysis would return, reusing every counter slice in place.  The
+// analysis itself is immutable and shared across replicas.
+//
+//perf:hotpath
+func (st *Stealer) Reset() {
+	st.now = 0
+	st.consumed = 0
+	for i := range st.inactive {
+		st.inactive[i] = 0
+	}
+	for i := range st.executed {
+		st.executed[i] = 0
+	}
+	for i := range st.cacheA {
+		st.cacheA[i] = 0
+	}
+	for i := range st.cacheCompleted {
+		st.cacheCompleted[i] = -1
+	}
+	for i := range st.guaranteed {
+		st.guaranteed[i] = nil
+	}
+	st.guaranteed = st.guaranteed[:0]
+}
+
 // Now returns the stealer's current time.
 func (st *Stealer) Now() timebase.Macrotick { return st.now }
 
